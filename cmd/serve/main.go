@@ -1,0 +1,78 @@
+// Command serve hosts the ViewSeeker HTTP UI and JSON API: pick a table,
+// type the exploration query, rate the charts the recommender shows, and
+// watch the top-k list converge — the browser edition of cmd/viewseeker.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-dataset diab -rows 20000] [name=path.csv ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"viewseeker"
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gen  = flag.String("dataset", "diab", "preload a generated dataset: diab, syn, nba or none")
+		rows = flag.Int("rows", 20_000, "rows for the generated dataset")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	var tables []*viewseeker.Table
+	switch *gen {
+	case "none", "":
+	case "diab":
+		tables = append(tables, dataset.GenerateDIAB(dataset.DIABConfig{Rows: *rows, Seed: *seed}))
+	case "syn":
+		tables = append(tables, dataset.GenerateSYN(dataset.SYNConfig{Rows: *rows, Seed: *seed}))
+	case "nba":
+		tables = append(tables, dataset.GenerateNBA(dataset.NBAConfig{Rows: *rows, Seed: *seed}))
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown dataset %q\n", *gen)
+		os.Exit(1)
+	}
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "serve: argument %q is not name=path.csv\n", arg)
+			os.Exit(1)
+		}
+		t, err := viewseeker.LoadCSV(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		t.Name = name
+		if len(t.Schema.Dimensions()) == 0 || len(t.Schema.Measures()) == 0 {
+			fmt.Fprintf(os.Stderr, "serve: table %q has no roles; ship a .schema.json sidecar (cmd/datagen writes one)\n", name)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "serve: no tables (use -dataset or name=path.csv arguments)")
+		os.Exit(1)
+	}
+	srv := server.New(tables...)
+	fmt.Printf("ViewSeeker UI on http://%s (tables: ", *addr)
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(t.Name)
+	}
+	fmt.Println(")")
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command vsql is a small SQL REPL over the library's query engine: it
+// loads CSV files and/or generated datasets into a catalog and executes
+// SELECT statements against them. It exists to exercise and demonstrate
+// the SQL substrate the view recommender is built on.
+//
+// Usage:
+//
+//	vsql [-dataset diab -rows 10000] [name=path.csv ...]
+//	> SELECT diag_group, COUNT(*) FROM diab GROUP BY diag_group;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/sql"
+)
+
+func main() {
+	var (
+		gen     = flag.String("dataset", "", "preload a generated dataset: diab, syn or nba")
+		rows    = flag.Int("rows", 20000, "rows for the generated dataset")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		command = flag.String("c", "", "execute this single statement and exit (scripting mode)")
+	)
+	flag.Parse()
+	cat := sql.NewCatalog()
+	switch *gen {
+	case "":
+	case "diab":
+		cat.Register(dataset.GenerateDIAB(dataset.DIABConfig{Rows: *rows, Seed: *seed}))
+	case "syn":
+		cat.Register(dataset.GenerateSYN(dataset.SYNConfig{Rows: *rows, Seed: *seed}))
+	case "nba":
+		cat.Register(dataset.GenerateNBA(dataset.NBAConfig{Rows: *rows, Seed: *seed}))
+	default:
+		fmt.Fprintf(os.Stderr, "vsql: unknown dataset %q\n", *gen)
+		os.Exit(1)
+	}
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vsql: argument %q is not name=path.csv\n", arg)
+			os.Exit(1)
+		}
+		t, err := dataset.ReadCSVFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsql:", err)
+			os.Exit(1)
+		}
+		t.Name = name
+		cat.Register(t)
+	}
+	if len(cat.Names()) == 0 {
+		fmt.Fprintln(os.Stderr, "vsql: no tables loaded (use -dataset or name=path.csv arguments)")
+		os.Exit(1)
+	}
+	if *command != "" {
+		res, err := cat.Query(*command)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsql:", err)
+			os.Exit(1)
+		}
+		printResult(res, 1000)
+		return
+	}
+	fmt.Printf("tables: %s\n", strings.Join(cat.Names(), ", "))
+	fmt.Println(`enter SELECT statements, "\d <table>" for schema, "\q" to quit`)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("vsql> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, `\d`):
+			describe(cat, strings.TrimSpace(strings.TrimPrefix(line, `\d`)))
+			continue
+		}
+		res, err := cat.Query(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res, 40)
+	}
+}
+
+func describe(cat *sql.Catalog, name string) {
+	t := cat.Table(name)
+	if t == nil {
+		fmt.Printf("no table %q (tables: %s)\n", name, strings.Join(cat.Names(), ", "))
+		return
+	}
+	fmt.Printf("%s: %d rows\n", t.Name, t.NumRows())
+	for _, def := range t.Schema.Columns {
+		fmt.Printf("  %-24s %-7s %s\n", def.Name, def.Kind, def.Role)
+	}
+}
+
+func printResult(t *dataset.Table, maxRows int) {
+	headers := make([]string, t.Schema.Len())
+	widths := make([]int, t.Schema.Len())
+	for i, def := range t.Schema.Columns {
+		headers[i] = def.Name
+		widths[i] = len(def.Name)
+	}
+	n := t.NumRows()
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	cells := make([][]string, shown)
+	for r := 0; r < shown; r++ {
+		row := t.Row(r)
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	line := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range cells {
+		line(row)
+	}
+	if shown < n {
+		fmt.Printf("... (%d more rows)\n", n-shown)
+	}
+	fmt.Printf("(%d rows)\n", n)
+}

@@ -1,0 +1,3 @@
+module viewseeker
+
+go 1.22

@@ -1,0 +1,67 @@
+// Package active implements the query strategies of ViewSeeker's
+// interactive phase: which unlabelled views to present to the user next.
+// The paper's choice is least-confidence uncertainty sampling [14] seeded
+// by a per-feature cold-start stage; random sampling and query-by-committee
+// are provided as baselines/extensions.
+package active
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy selects up to m unlabelled view indices to present next.
+// rows is the feature matrix of the whole view space; labeled maps view
+// index → the user's label for every view already labelled.
+type Strategy interface {
+	Name() string
+	Select(rows [][]float64, labeled map[int]float64, m int) ([]int, error)
+}
+
+// unlabeledIndices returns the sorted indices not yet labelled.
+func unlabeledIndices(n int, labeled map[int]float64) []int {
+	out := make([]int, 0, n-len(labeled))
+	for i := 0; i < n; i++ {
+		if _, ok := labeled[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// topByScore returns up to m indices from candidates with the highest
+// scores, ties broken by ascending index for determinism.
+func topByScore(candidates []int, score func(i int) float64, m int) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ss := make([]scored, len(candidates))
+	for i, c := range candidates {
+		ss[i] = scored{c, score(c)}
+	}
+	sort.SliceStable(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].idx < ss[b].idx
+	})
+	if m > len(ss) {
+		m = len(ss)
+	}
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		out[i] = ss[i].idx
+	}
+	return out
+}
+
+func validateSelect(rows [][]float64, m int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("active: empty view space")
+	}
+	if m <= 0 {
+		return fmt.Errorf("active: must request at least one view, got %d", m)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package core implements the ViewSeeker session loop of Algorithm 1: the
+// cold-start and uncertainty-sampling stages, the linear-regression view
+// utility estimator, top-k recommendation, and the hook into the
+// incremental feature refinement optimisation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"viewseeker/internal/active"
+)
+
+// Config parameterises a Seeker session. The zero value is usable; each
+// field documents its default.
+type Config struct {
+	// K is the recommendation size (default 10).
+	K int
+	// M is the number of views presented per iteration (Table 1 default 1).
+	M int
+	// PositiveThreshold splits interest labels into positive/negative for
+	// the uncertainty estimator and the cold-start exit test (default 0.5).
+	PositiveThreshold float64
+	// Ridge is the view utility estimator's regularisation (default 1e-4:
+	// small enough for near-exact recovery of linear utility targets,
+	// large enough that near-degenerate feature directions cannot soak up
+	// label noise).
+	Ridge float64
+	// Strategy is the main-phase query strategy (default
+	// &active.Uncertainty{}).
+	Strategy active.Strategy
+	// ColdStartSeed seeds the cold-start random fallback.
+	ColdStartSeed int64
+	// RefineBudget is the per-iteration latency budget tl granted to the
+	// incremental feature refiner; it only matters when the Seeker is built
+	// from a partial matrix (Table 1 default 1s).
+	RefineBudget time.Duration
+	// RefineCap bounds how many rough rows one iteration may refresh, on
+	// top of the time budget. The paper's saving comes from *pruning*:
+	// low-ranked views never get their exact features computed, so the cap
+	// must be small relative to the view space (default 2·K + M).
+	RefineCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.M <= 0 {
+		c.M = 1
+	}
+	if c.PositiveThreshold <= 0 {
+		c.PositiveThreshold = 0.5
+	}
+	if c.Ridge <= 0 {
+		c.Ridge = 1e-4
+	}
+	if c.Strategy == nil {
+		c.Strategy = &active.Uncertainty{Threshold: c.PositiveThreshold}
+	}
+	if c.RefineBudget <= 0 {
+		c.RefineBudget = time.Second
+	}
+	if c.RefineCap <= 0 {
+		// A per-iteration constant, deliberately NOT scaled with K: the
+		// cap models how much exact recomputation hides inside one user
+		// think-pause, which depends on the machine and the data, not on
+		// how many views the user asked to see.
+		c.RefineCap = 24
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 0 || c.M < 0 {
+		return fmt.Errorf("core: negative K or M")
+	}
+	if c.PositiveThreshold < 0 || c.PositiveThreshold > 1 {
+		return fmt.Errorf("core: positive threshold %g outside [0, 1]", c.PositiveThreshold)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"viewseeker/internal/active"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/ml"
+	"viewseeker/internal/optimize"
+)
+
+// Seeker runs Algorithm 1 over a pre-computed feature matrix: present
+// views, absorb labels, refit the view utility estimator, recommend top-k.
+// It is the engine behind the public viewseeker.Seeker facade.
+type Seeker struct {
+	matrix *feature.Matrix
+	cfg    Config
+
+	labeled map[int]float64
+	order   []int // labelling order, for reporting
+
+	utility *ml.LinearRegression
+	cold    *active.ColdStart
+	refiner *optimize.Refiner
+
+	havePositive bool
+	haveNegative bool
+}
+
+// NewSeeker builds a session over the matrix. When the matrix was computed
+// partially (α-sampling), pass withRefinement true to enable per-iteration
+// incremental refinement.
+func NewSeeker(m *feature.Matrix, cfg Config, withRefinement bool) (*Seeker, error) {
+	if m == nil || m.Len() == 0 {
+		return nil, fmt.Errorf("core: seeker needs a non-empty feature matrix")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Seeker{
+		matrix:  m,
+		cfg:     cfg,
+		labeled: make(map[int]float64),
+		utility: ml.NewLinearRegression(cfg.Ridge),
+		cold:    &active.ColdStart{Seed: cfg.ColdStartSeed},
+	}
+	if withRefinement {
+		s.refiner = optimize.NewRefiner(m)
+	}
+	return s, nil
+}
+
+// Matrix exposes the session's feature matrix.
+func (s *Seeker) Matrix() *feature.Matrix { return s.matrix }
+
+// NumLabels returns how many labels have been collected.
+func (s *Seeker) NumLabels() int { return len(s.labeled) }
+
+// Labels returns the labelling history in order: view indices paired with
+// the labels given.
+func (s *Seeker) Labels() (indices []int, labels []float64) {
+	indices = append(indices, s.order...)
+	for _, i := range indices {
+		labels = append(labels, s.labeled[i])
+	}
+	return indices, labels
+}
+
+// InColdStart reports whether the session is still acquiring its first
+// positive and negative labels.
+func (s *Seeker) InColdStart() bool { return !(s.havePositive && s.haveNegative) }
+
+// NextViews selects the views to present this iteration: the cold-start
+// walk until both a positive and a negative label exist, then the
+// configured query strategy. It returns nil when every view is labelled.
+func (s *Seeker) NextViews() ([]int, error) {
+	if len(s.labeled) >= s.matrix.Len() {
+		return nil, nil
+	}
+	if s.InColdStart() {
+		return s.cold.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+	}
+	return s.cfg.Strategy.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+}
+
+// Feedback records the user's label (0–1) for a view, runs the incremental
+// refinement budget, and refits the view utility estimator on everything
+// labelled so far.
+func (s *Seeker) Feedback(viewIdx int, label float64) error {
+	if viewIdx < 0 || viewIdx >= s.matrix.Len() {
+		return fmt.Errorf("core: view index %d out of range [0, %d)", viewIdx, s.matrix.Len())
+	}
+	if label < 0 || label > 1 {
+		return fmt.Errorf("core: label %g outside [0, 1]", label)
+	}
+	if _, dup := s.labeled[viewIdx]; !dup {
+		s.order = append(s.order, viewIdx)
+	}
+	s.labeled[viewIdx] = label
+	if label >= s.cfg.PositiveThreshold {
+		s.havePositive = true
+	} else {
+		s.haveNegative = true
+	}
+
+	// Spend the latency budget refining rough features (Section 3.3): the
+	// labelled view first (the estimator must train on exact features),
+	// then the most promising rough views in estimator-rank order, up to
+	// RefineCap rows — the work that hides inside the user's think time.
+	// Views that never reach the front of this queue are pruned: their
+	// exact features are simply never computed.
+	if s.refiner != nil && !s.refiner.Done() {
+		if _, err := s.refiner.Refine(s.refinePriority(viewIdx), s.cfg.RefineBudget); err != nil {
+			return err
+		}
+	}
+	return s.refit()
+}
+
+// refinePriority orders the rough rows one iteration may refresh: first
+// the view just labelled (the estimator must train on exact features),
+// then the current top-k (they decide what the user sees), then the
+// remaining views in estimator-rank order, truncated to the refinement
+// cap. Views never reaching the front of this queue are the "less
+// promising" calculations the optimisation prunes.
+func (s *Seeker) refinePriority(justLabeled int) []int {
+	limit := s.cfg.RefineCap
+	out := make([]int, 0, limit)
+	seen := make(map[int]bool, limit)
+	push := func(i int) {
+		if len(out) < limit && !seen[i] && !s.matrix.Exact[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	// Pushing a view also pushes its aggregate siblings — the views over
+	// the same (dimension, bins, measure). Their exact features come from
+	// the same narrow scan, so upgrading them is nearly free, and it
+	// concentrates the scans the cap pays for onto fewer column families.
+	pushFamily := func(i int) {
+		push(i)
+		spec := s.matrix.Specs[i]
+		for j, other := range s.matrix.Specs {
+			if other.Dimension == spec.Dimension && other.Bins == spec.Bins && other.Measure == spec.Measure {
+				push(j)
+			}
+		}
+	}
+	pushFamily(justLabeled)
+	for _, i := range s.TopK() {
+		pushFamily(i)
+	}
+	for _, i := range s.rankAll() {
+		if len(out) >= limit {
+			break
+		}
+		pushFamily(i)
+	}
+	return out
+}
+
+func (s *Seeker) refit() error {
+	x := make([][]float64, 0, len(s.labeled))
+	y := make([]float64, 0, len(s.labeled))
+	for _, i := range s.order {
+		x = append(x, s.matrix.Rows[i])
+		y = append(y, s.labeled[i])
+	}
+	if len(x) == 0 {
+		return nil
+	}
+	// Standardise against the whole view space, not just the labelled
+	// rows: the estimator predicts over every view, and labelled-only
+	// statistics would let near-constant-among-labels features explode on
+	// the rest of the space. Matrix rows change under refinement, so the
+	// scaler is refitted per refit (cheap: |views| × |features|).
+	scaler, err := ml.FitScaler(s.matrix.Rows)
+	if err != nil {
+		return err
+	}
+	s.utility.ExternalScaler = scaler
+	return s.utility.Fit(x, y)
+}
+
+// Predict returns the current estimator's utility for one view (0 before
+// any feedback).
+func (s *Seeker) Predict(viewIdx int) float64 {
+	return s.utility.Predict(s.matrix.Rows[viewIdx])
+}
+
+// rankAll returns every view index sorted by predicted utility descending,
+// ties by index.
+func (s *Seeker) rankAll() []int {
+	scores := s.utility.PredictAll(s.matrix.Rows)
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// TopK returns the current top-k recommendation (view indices, best
+// first).
+func (s *Seeker) TopK() []int {
+	ranked := s.rankAll()
+	k := s.cfg.K
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// Estimator exposes the trained view utility estimator — the discovered
+// u_p() approximating the user's ideal utility function.
+func (s *Seeker) Estimator() *ml.LinearRegression { return s.utility }
+
+// Weights returns the estimator's learned feature weights (Eq. 4's β,
+// unnormalised) and intercept, aligned with matrix feature order.
+func (s *Seeker) Weights() ([]float64, float64) { return s.utility.Weights() }

@@ -1,0 +1,148 @@
+package dataset
+
+import "fmt"
+
+// Column stores one table column unboxed. Exactly one of the backing
+// slices is populated, matching Def.Kind; nulls records positions holding
+// SQL NULL (nil when the column has no nulls).
+type Column struct {
+	Def    ColumnDef
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	nulls  map[int]bool
+}
+
+// NewColumn allocates an empty column for the definition.
+func NewColumn(def ColumnDef) *Column { return &Column{Def: def} }
+
+// Len returns the number of stored cells.
+func (c *Column) Len() int {
+	switch c.Def.Kind {
+	case KindInt:
+		return len(c.Ints)
+	case KindFloat:
+		return len(c.Floats)
+	case KindString:
+		return len(c.Strs)
+	case KindBool:
+		return len(c.Bools)
+	default:
+		return 0
+	}
+}
+
+// Append adds a value, coercing numerically when needed. Appending NULL
+// stores the kind's zero value and records the position as null.
+func (c *Column) Append(v Value) error {
+	if v.IsNull() {
+		if c.nulls == nil {
+			c.nulls = make(map[int]bool)
+		}
+		c.nulls[c.Len()] = true
+		v = zeroOf(c.Def.Kind)
+	}
+	switch c.Def.Kind {
+	case KindInt:
+		i, ok := v.AsInt()
+		if !ok {
+			return fmt.Errorf("dataset: cannot store %s in int column %q", v.Kind, c.Def.Name)
+		}
+		c.Ints = append(c.Ints, i)
+	case KindFloat:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("dataset: cannot store %s in float column %q", v.Kind, c.Def.Name)
+		}
+		c.Floats = append(c.Floats, f)
+	case KindString:
+		if v.Kind != KindString {
+			c.Strs = append(c.Strs, v.String())
+		} else {
+			c.Strs = append(c.Strs, v.S)
+		}
+	case KindBool:
+		if v.Kind != KindBool {
+			return fmt.Errorf("dataset: cannot store %s in bool column %q", v.Kind, c.Def.Name)
+		}
+		c.Bools = append(c.Bools, v.B)
+	default:
+		return fmt.Errorf("dataset: column %q has invalid kind", c.Def.Name)
+	}
+	return nil
+}
+
+func zeroOf(k Kind) Value {
+	switch k {
+	case KindInt:
+		return Int(0)
+	case KindFloat:
+		return Float(0)
+	case KindString:
+		return StringVal("")
+	case KindBool:
+		return Bool(false)
+	default:
+		return Null
+	}
+}
+
+// Value returns the cell at row i as a boxed Value.
+func (c *Column) Value(i int) Value {
+	if c.nulls != nil && c.nulls[i] {
+		return Null
+	}
+	switch c.Def.Kind {
+	case KindInt:
+		return Int(c.Ints[i])
+	case KindFloat:
+		return Float(c.Floats[i])
+	case KindString:
+		return StringVal(c.Strs[i])
+	case KindBool:
+		return Bool(c.Bools[i])
+	default:
+		return Null
+	}
+}
+
+// IsNull reports whether the cell at row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.nulls != nil && c.nulls[i] }
+
+// Float returns the cell at row i coerced to float64 (0 for NULL or
+// non-numeric cells) plus an ok flag. It avoids boxing on the hot
+// aggregation path.
+func (c *Column) Float(i int) (float64, bool) {
+	if c.IsNull(i) {
+		return 0, false
+	}
+	switch c.Def.Kind {
+	case KindInt:
+		return float64(c.Ints[i]), true
+	case KindFloat:
+		return c.Floats[i], true
+	case KindBool:
+		if c.Bools[i] {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// GroupKey returns a compact string key identifying the cell's group value,
+// used by hash aggregation. NULLs map to a reserved key and therefore group
+// together.
+func (c *Column) GroupKey(i int) string {
+	if c.IsNull(i) {
+		return "\x00null"
+	}
+	switch c.Def.Kind {
+	case KindString:
+		return c.Strs[i]
+	default:
+		return c.Value(i).String()
+	}
+}

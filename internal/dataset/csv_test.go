@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `cat,n,x,flag
+a,1,0.5,true
+b,2,1.5,false
+c,,2.5,true
+`
+
+func TestReadCSVInfersKinds(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := map[string]Kind{"cat": KindString, "n": KindInt, "x": KindFloat, "flag": KindBool}
+	for name, kind := range wantKinds {
+		def, ok := tab.Schema.Def(name)
+		if !ok || def.Kind != kind {
+			t.Errorf("column %q kind = %v, want %v", name, def.Kind, kind)
+		}
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", tab.NumRows())
+	}
+	if !tab.Column("n").IsNull(2) {
+		t.Error("empty cell should be NULL")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 0 || tab.Schema.Len() != 2 {
+		t.Errorf("got %d rows, %d cols", tab.NumRows(), tab.Schema.Len())
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV("t", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), orig.NumRows())
+	}
+	for i := 0; i < orig.NumRows(); i++ {
+		a, b := orig.Row(i), back.Row(i)
+		for j := range a {
+			if a[j].String() != b[j].String() && !(a[j].IsNull() && b[j].IsNull()) {
+				t.Errorf("row %d col %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.csv")
+	orig, err := ReadCSV("sample", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVFile(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "sample" {
+		t.Errorf("table name = %q, want sample", back.Name)
+	}
+	if back.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", back.NumRows())
+	}
+}
+
+func TestAssignRoles(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignRoles(tab, []string{"cat", "flag"}, []string{"n", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Schema.Dimensions(); len(got) != 2 {
+		t.Errorf("dimensions = %v", got)
+	}
+	if got := tab.Schema.Measures(); len(got) != 2 {
+		t.Errorf("measures = %v", got)
+	}
+	if err := AssignRoles(tab, []string{"missing"}, nil); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestReadCSVMixedIntFloatColumn(t *testing.T) {
+	// First row says int, later rows are floats: they must coerce, not fail.
+	tab, err := ReadCSV("t", strings.NewReader("v\n1\n2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Column("v").Ints[1]; got != 2 {
+		t.Errorf("coerced value = %d, want truncated 2", got)
+	}
+}

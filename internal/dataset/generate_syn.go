@@ -1,0 +1,74 @@
+package dataset
+
+import "math/rand"
+
+// SYNConfig parameterises the synthetic numerical dataset of the paper's
+// testbed (Table 1): 1M records, 5 dimension attributes, 5 measure
+// attributes, uniformly distributed values.
+type SYNConfig struct {
+	// Rows is the record count. The paper uses 1e6; tests use less.
+	Rows int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// Correlate, when true, shifts the measure distributions inside the
+	// canonical DQ hypercube (see SYNQuery) so that target views deviate
+	// from reference views by more than sampling noise. The paper's SYN is
+	// purely uniform; correlation is an option for demos that want visible
+	// insights.
+	Correlate bool
+}
+
+// DefaultSYNConfig returns the paper's SYN parameters at full scale.
+func DefaultSYNConfig() SYNConfig { return SYNConfig{Rows: 1_000_000, Seed: 1} }
+
+// SYNQuery is the canonical hypercube predicate the testbed uses to carve
+// DQ out of SYN. Its selectivity is 0.0707^2 over two independent uniform
+// dimensions, ~0.5% of the records, matching Table 1.
+const SYNQuery = "SELECT * FROM syn WHERE d1 < 0.0707 AND d2 < 0.0707"
+
+// GenerateSYN builds the SYN table: numeric dimensions d1..d5 in [0,1) and
+// numeric measures m1..m5 in [0,100).
+func GenerateSYN(cfg SYNConfig) *Table {
+	const nDims, nMeasures = 5, 5
+	defs := make([]ColumnDef, 0, nDims+nMeasures)
+	dimNames := []string{"d1", "d2", "d3", "d4", "d5"}
+	measureNames := []string{"m1", "m2", "m3", "m4", "m5"}
+	for _, n := range dimNames {
+		defs = append(defs, ColumnDef{Name: n, Kind: KindFloat, Role: RoleDimension})
+	}
+	for _, n := range measureNames {
+		defs = append(defs, ColumnDef{Name: n, Kind: KindFloat, Role: RoleMeasure})
+	}
+	t := NewTable("syn", MustSchema(defs...))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < nDims+nMeasures; i++ {
+		t.Cols[i].Floats = make([]float64, cfg.Rows)
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		inCube := true
+		for d := 0; d < nDims; d++ {
+			v := rng.Float64()
+			t.Cols[d].Floats[r] = v
+			if d < 2 && v >= 0.0707 {
+				inCube = false
+			}
+		}
+		for m := 0; m < nMeasures; m++ {
+			v := rng.Float64() * 100
+			if cfg.Correlate && inCube {
+				// Skew each measure differently inside the hypercube so the
+				// deviation features separate views rather than collapsing
+				// into one global shift.
+				v = v*0.6 + float64(m+1)*8 + t.Cols[2].Floats[r]*20
+				if v > 100 {
+					v = 100
+				}
+			}
+			t.Cols[nDims+m].Floats[r] = v
+		}
+	}
+	if err := t.sealRows(); err != nil {
+		panic(err)
+	}
+	return t
+}

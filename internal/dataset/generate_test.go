@@ -1,0 +1,185 @@
+package dataset
+
+import "testing"
+
+func TestGenerateSYNShape(t *testing.T) {
+	cfg := SYNConfig{Rows: 5000, Seed: 1}
+	tab := GenerateSYN(cfg)
+	if tab.NumRows() != 5000 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if got := len(tab.Schema.Dimensions()); got != 5 {
+		t.Errorf("dims = %d, want 5", got)
+	}
+	if got := len(tab.Schema.Measures()); got != 5 {
+		t.Errorf("measures = %d, want 5", got)
+	}
+	lo, hi, ok := tab.NumericRange("d1")
+	if !ok || lo < 0 || hi >= 1 {
+		t.Errorf("d1 range = [%v, %v]", lo, hi)
+	}
+	lo, hi, ok = tab.NumericRange("m3")
+	if !ok || lo < 0 || hi >= 100.0001 {
+		t.Errorf("m3 range = [%v, %v]", lo, hi)
+	}
+}
+
+func TestGenerateSYNDeterministic(t *testing.T) {
+	a := GenerateSYN(SYNConfig{Rows: 200, Seed: 42})
+	b := GenerateSYN(SYNConfig{Rows: 200, Seed: 42})
+	for i := 0; i < 200; i++ {
+		if a.Column("m1").Floats[i] != b.Column("m1").Floats[i] {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+	c := GenerateSYN(SYNConfig{Rows: 200, Seed: 43})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Column("m1").Floats[i] != c.Column("m1").Floats[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestGenerateSYNHypercubeSelectivity(t *testing.T) {
+	tab := GenerateSYN(SYNConfig{Rows: 200_000, Seed: 7})
+	d1, d2 := tab.Column("d1").Floats, tab.Column("d2").Floats
+	n := 0
+	for i := range d1 {
+		if d1[i] < 0.0707 && d2[i] < 0.0707 {
+			n++
+		}
+	}
+	ratio := float64(n) / float64(len(d1))
+	if ratio < 0.003 || ratio > 0.008 {
+		t.Errorf("hypercube selectivity = %.4f, want ~0.005", ratio)
+	}
+}
+
+func TestGenerateDIABShape(t *testing.T) {
+	tab := GenerateDIAB(DIABConfig{Rows: 20_000, Seed: 2})
+	if got := len(tab.Schema.Dimensions()); got != 7 {
+		t.Errorf("dims = %d, want 7 (Table 1)", got)
+	}
+	if got := len(tab.Schema.Measures()); got != 8 {
+		t.Errorf("measures = %d, want 8 (Table 1)", got)
+	}
+	vals, err := tab.DistinctValues("age_group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 10 {
+		t.Errorf("age_group cardinality = %d, want 10", len(vals))
+	}
+	// Measures are count-like: non-negative integers.
+	lo, _, ok := tab.NumericRange("num_medications")
+	if !ok || lo < 0 {
+		t.Errorf("num_medications range starts at %v", lo)
+	}
+}
+
+func TestGenerateDIABQuerySelectivity(t *testing.T) {
+	tab := GenerateDIAB(DIABConfig{Rows: 100_000, Seed: 2})
+	diag, age := tab.Column("diag_group").Strs, tab.Column("age_group").Strs
+	n := 0
+	for i := range diag {
+		if diag[i] == "diabetes" && age[i] == "[90-100)" {
+			n++
+		}
+	}
+	ratio := float64(n) / float64(len(diag))
+	if ratio < 0.002 || ratio > 0.009 {
+		t.Errorf("DIAB DQ selectivity = %.4f, want ~0.005 (Table 1)", ratio)
+	}
+}
+
+func TestGenerateDIABSubgroupShift(t *testing.T) {
+	// The DQ subgroup must have a visibly shifted measure distribution,
+	// otherwise deviation-based utilities would be pure noise.
+	tab := GenerateDIAB(DIABConfig{Rows: 50_000, Seed: 2})
+	diag, age := tab.Column("diag_group").Strs, tab.Column("age_group").Strs
+	meds := tab.Column("num_medications").Ints
+	var inSum, outSum float64
+	var inN, outN int
+	for i := range diag {
+		if diag[i] == "diabetes" && age[i] == "[90-100)" {
+			inSum += float64(meds[i])
+			inN++
+		} else {
+			outSum += float64(meds[i])
+			outN++
+		}
+	}
+	if inN == 0 {
+		t.Fatal("no DQ rows generated")
+	}
+	if inSum/float64(inN) <= outSum/float64(outN)+1 {
+		t.Errorf("DQ subgroup mean %.2f not shifted above population mean %.2f",
+			inSum/float64(inN), outSum/float64(outN))
+	}
+}
+
+func TestGenerateNBAHotTeam(t *testing.T) {
+	tab := GenerateNBA(NBAConfig{Rows: 20_000, Seed: 3, HotTeam: "GSW"})
+	team := tab.Column("team").Strs
+	rate := tab.Column("three_pt_attempts").Floats
+	var hotSum, restSum float64
+	var hotN, restN int
+	for i := range team {
+		if team[i] == "GSW" {
+			hotSum += rate[i]
+			hotN++
+		} else {
+			restSum += rate[i]
+			restN++
+		}
+	}
+	if hotN == 0 {
+		t.Fatal("no hot-team rows")
+	}
+	if hotSum/float64(hotN) < 1.25*restSum/float64(restN) {
+		t.Errorf("hot team 3PA mean %.2f not well above league %.2f",
+			hotSum/float64(hotN), restSum/float64(restN))
+	}
+	// The hot team's positional profile must also be flatter than the
+	// league's (bigs shoot threes), or normalised views would hide the
+	// insight entirely.
+	pos := tab.Column("position").Strs
+	profile := func(hot bool) (pg, c float64) {
+		var pgSum, cSum float64
+		var pgN, cN int
+		for i := range team {
+			if (team[i] == "GSW") != hot {
+				continue
+			}
+			switch pos[i] {
+			case "PG":
+				pgSum += rate[i]
+				pgN++
+			case "C":
+				cSum += rate[i]
+				cN++
+			}
+		}
+		return pgSum / float64(pgN), cSum / float64(cN)
+	}
+	hotPG, hotC := profile(true)
+	leaguePG, leagueC := profile(false)
+	if hotC/hotPG <= leagueC/leaguePG {
+		t.Errorf("hot team profile not flatter: hot C/PG %.2f, league %.2f",
+			hotC/hotPG, leagueC/leaguePG)
+	}
+}
+
+func TestDefaultConfigsMatchTable1(t *testing.T) {
+	if c := DefaultSYNConfig(); c.Rows != 1_000_000 {
+		t.Errorf("SYN default rows = %d, want 1e6", c.Rows)
+	}
+	if c := DefaultDIABConfig(); c.Rows != 100_000 {
+		t.Errorf("DIAB default rows = %d, want 1e5", c.Rows)
+	}
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import "fmt"
+
+// Role classifies a column under the multi-dimensional data model of the
+// paper: dimension attributes are grouped on, measure attributes are
+// aggregated, and Other columns are carried along but never enumerated into
+// the view space.
+type Role int
+
+// The column roles.
+const (
+	RoleOther Role = iota
+	RoleDimension
+	RoleMeasure
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleDimension:
+		return "dimension"
+	case RoleMeasure:
+		return "measure"
+	default:
+		return "other"
+	}
+}
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Kind Kind
+	Role Role
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Columns []ColumnDef
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from column definitions. Column names must be
+// unique (case-sensitive).
+func NewSchema(cols ...ColumnDef) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("dataset: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(cols ...ColumnDef) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Def returns the definition of the named column.
+func (s *Schema) Def(name string) (ColumnDef, bool) {
+	i := s.Index(name)
+	if i < 0 {
+		return ColumnDef{}, false
+	}
+	return s.Columns[i], true
+}
+
+// Dimensions returns the names of all dimension columns, in schema order.
+func (s *Schema) Dimensions() []string { return s.withRole(RoleDimension) }
+
+// Measures returns the names of all measure columns, in schema order.
+func (s *Schema) Measures() []string { return s.withRole(RoleMeasure) }
+
+func (s *Schema) withRole(r Role) []string {
+	var out []string
+	for _, c := range s.Columns {
+		if c.Role == r {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// schemaFile is the JSON sidecar format that preserves what CSV cannot:
+// column kinds and dimension/measure roles.
+type schemaFile struct {
+	Version int             `json:"version"`
+	Table   string          `json:"table"`
+	Columns []schemaFileCol `json:"columns"`
+}
+
+type schemaFileCol struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Role string `json:"role"`
+}
+
+const schemaFileVersion = 1
+
+// WriteSchema writes the table's schema (kinds and roles) as JSON, the
+// sidecar companion to WriteCSV.
+func WriteSchema(t *Table, w io.Writer) error {
+	sf := schemaFile{Version: schemaFileVersion, Table: t.Name}
+	for _, def := range t.Schema.Columns {
+		sf.Columns = append(sf.Columns, schemaFileCol{
+			Name: def.Name, Kind: def.Kind.String(), Role: def.Role.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sf)
+}
+
+// ApplySchema reads a schema sidecar and applies its roles (and name) to a
+// freshly loaded table. Kinds are verified, not coerced: a mismatch means
+// the CSV and sidecar have drifted apart and is reported as an error.
+func ApplySchema(t *Table, r io.Reader) error {
+	var sf schemaFile
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return fmt.Errorf("dataset: decoding schema sidecar: %w", err)
+	}
+	if sf.Version != schemaFileVersion {
+		return fmt.Errorf("dataset: schema sidecar version %d, want %d", sf.Version, schemaFileVersion)
+	}
+	var dims, measures []string
+	for _, col := range sf.Columns {
+		def, ok := t.Schema.Def(col.Name)
+		if !ok {
+			return fmt.Errorf("dataset: sidecar column %q not in table", col.Name)
+		}
+		if def.Kind.String() != col.Kind {
+			return fmt.Errorf("dataset: column %q is %s in the data but %s in the sidecar",
+				col.Name, def.Kind, col.Kind)
+		}
+		switch col.Role {
+		case "dimension":
+			dims = append(dims, col.Name)
+		case "measure":
+			measures = append(measures, col.Name)
+		case "other":
+		default:
+			return fmt.Errorf("dataset: sidecar column %q has unknown role %q", col.Name, col.Role)
+		}
+	}
+	if sf.Table != "" {
+		t.Name = sf.Table
+	}
+	return AssignRoles(t, dims, measures)
+}
+
+// schemaPathFor derives the sidecar path for a CSV path.
+func schemaPathFor(csvPath string) string {
+	return strings.TrimSuffix(csvPath, ".csv") + ".schema.json"
+}
+
+// WriteCSVWithSchema writes the table to csvPath plus a .schema.json
+// sidecar next to it.
+func WriteCSVWithSchema(t *Table, csvPath string) error {
+	if err := WriteCSVFile(t, csvPath); err != nil {
+		return err
+	}
+	f, err := os.Create(schemaPathFor(csvPath))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteSchema(t, f)
+}
+
+// ReadCSVWithSchema loads a CSV and, when a .schema.json sidecar exists
+// next to it, applies the saved roles. Without a sidecar it behaves like
+// ReadCSVFile.
+func ReadCSVWithSchema(csvPath string) (*Table, error) {
+	t, err := ReadCSVFile(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(schemaPathFor(csvPath))
+	if os.IsNotExist(err) {
+		return t, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := ApplySchema(t, f); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

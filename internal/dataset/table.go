@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is an in-memory columnar table. The zero value is unusable; build
+// tables with NewTable and fill them with AppendRow or the typed column
+// slices directly.
+type Table struct {
+	Name   string
+	Schema *Schema
+	Cols   []*Column
+	rows   int
+}
+
+// NewTable allocates an empty table for the schema.
+func NewTable(name string, schema *Schema) *Table {
+	cols := make([]*Column, schema.Len())
+	for i, def := range schema.Columns {
+		cols[i] = NewColumn(def)
+	}
+	return &Table{Name: name, Schema: schema, Cols: cols}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	return t.Cols[i]
+}
+
+// AppendRow adds one row. The number of values must equal the schema width.
+func (t *Table) AppendRow(vals ...Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("dataset: table %q expects %d values, got %d", t.Name, len(t.Cols), len(vals))
+	}
+	for i, v := range vals {
+		if err := t.Cols[i].Append(v); err != nil {
+			return err
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error, for generators whose
+// values are schema-correct by construction.
+func (t *Table) MustAppendRow(vals ...Value) {
+	if err := t.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// sealRows fixes the row count after bulk column writes. Generators that
+// fill the typed slices directly must call it.
+func (t *Table) sealRows() error {
+	n := -1
+	for _, c := range t.Cols {
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return fmt.Errorf("dataset: table %q has ragged columns (%q has %d rows, want %d)",
+				t.Name, c.Def.Name, c.Len(), n)
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.rows = n
+	return nil
+}
+
+// Row returns row i as boxed values, in schema order.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.Cols))
+	for j, c := range t.Cols {
+		out[j] = c.Value(i)
+	}
+	return out
+}
+
+// Subset materialises a new table holding the given row indices, in order.
+// It is how query results (DQ) are represented as first-class tables.
+func (t *Table) Subset(name string, rows []int) *Table {
+	out := NewTable(name, t.Schema)
+	for _, i := range rows {
+		vals := make([]Value, len(t.Cols))
+		for j, c := range t.Cols {
+			vals[j] = c.Value(i)
+		}
+		out.MustAppendRow(vals...)
+	}
+	return out
+}
+
+// DistinctValues returns the sorted distinct group keys of the named
+// column. It is used to lay out histogram bins for categorical dimensions.
+func (t *Table) DistinctValues(col string) ([]string, error) {
+	c := t.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("dataset: table %q has no column %q", t.Name, col)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < t.rows; i++ {
+		k := c.GroupKey(i)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NumericRange returns the [min,max] of a numeric column, ignoring NULLs.
+// ok is false when the column has no numeric cells.
+func (t *Table) NumericRange(col string) (lo, hi float64, ok bool) {
+	c := t.Column(col)
+	if c == nil {
+		return 0, 0, false
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < t.rows; i++ {
+		f, fok := c.Float(i)
+		if !fok {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// SampleRows returns the row indices of a deterministic uniform sample of
+// ratio alpha in (0,1]. The sample is the stride pattern used by the
+// optimisation layer: it touches every region of the table, is stable
+// across runs, and costs no RNG state.
+func (t *Table) SampleRows(alpha float64) []int {
+	if alpha >= 1 || t.rows == 0 {
+		all := make([]int, t.rows)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if alpha <= 0 {
+		return nil
+	}
+	n := int(math.Ceil(float64(t.rows) * alpha))
+	if n < 1 {
+		n = 1
+	}
+	stride := float64(t.rows) / float64(n)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * stride)
+		if idx >= t.rows {
+			idx = t.rows - 1
+		}
+		out = append(out, idx)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package diversify re-ranks top-k view recommendations for diversity,
+// after DiVE (Mafrur, Sharaf, Khan — "DiVE: Diversifying View
+// Recommendation for Visual Data Exploration", CIKM 2018), which the
+// paper's related-work section positions next to ViewSeeker: a recommender
+// that only maximises utility tends to return k near-duplicates of the
+// single best view. Maximal Marginal Relevance trades predicted utility
+// against similarity to the views already selected.
+package diversify
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMR selects k item indices by Maximal Marginal Relevance: each step
+// takes the item maximising
+//
+//	lambda·score(i) − (1−lambda)·max_{j∈selected} sim(i, j)
+//
+// where sim is a normalised similarity over the items' feature vectors.
+// lambda = 1 reproduces the plain top-k by score; lambda = 0 ignores
+// utility entirely. Scores are min-max normalised internally so lambda
+// means the same thing regardless of score scale.
+func MMR(scores []float64, features [][]float64, k int, lambda float64) ([]int, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("diversify: no items")
+	}
+	if len(features) != n {
+		return nil, fmt.Errorf("diversify: %d scores but %d feature rows", n, len(features))
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("diversify: lambda %g outside [0, 1]", lambda)
+	}
+	if k > n {
+		k = n
+	}
+	norm := normalizeScores(scores)
+	selected := make([]int, 0, k)
+	taken := make([]bool, n)
+	sims := make([]float64, n) // max similarity to any selected item
+	for len(selected) < k {
+		best, bestVal := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if taken[i] {
+				continue
+			}
+			val := lambda * norm[i]
+			if len(selected) > 0 {
+				val -= (1 - lambda) * sims[i]
+			}
+			if val > bestVal {
+				best, bestVal = i, val
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		selected = append(selected, best)
+		for i := 0; i < n; i++ {
+			if taken[i] {
+				continue
+			}
+			if s := Similarity(features[best], features[i]); s > sims[i] {
+				sims[i] = s
+			}
+		}
+	}
+	return selected, nil
+}
+
+// Similarity maps the Euclidean distance between two feature vectors into
+// (0, 1]: 1 for identical vectors, falling toward 0 as they separate.
+func Similarity(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		t := a[i] - b[i]
+		d += t * t
+	}
+	return 1 / (1 + math.Sqrt(d))
+}
+
+func normalizeScores(scores []float64) []float64 {
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	out := make([]float64, len(scores))
+	if hi <= lo {
+		return out
+	}
+	for i, s := range scores {
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}
+
+// Coverage reports the mean pairwise distance of the selected items'
+// feature vectors — the diversity measure DiVE-style evaluations plot.
+func Coverage(selected []int, features [][]float64) float64 {
+	if len(selected) < 2 {
+		return 0
+	}
+	total, pairs := 0.0, 0
+	for i := 0; i < len(selected); i++ {
+		for j := i + 1; j < len(selected); j++ {
+			a, b := features[selected[i]], features[selected[j]]
+			d := 0.0
+			for t := range a {
+				x := a[t] - b[t]
+				d += x * x
+			}
+			total += math.Sqrt(d)
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}

@@ -1,0 +1,135 @@
+package diversify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clusteredItems builds two tight clusters: cluster A has the top scores,
+// cluster B slightly lower. Plain top-k picks only cluster A; MMR should
+// mix.
+func clusteredItems() (scores []float64, features [][]float64) {
+	for i := 0; i < 5; i++ {
+		scores = append(scores, 1.0-float64(i)*0.01)
+		features = append(features, []float64{1, 1, float64(i) * 0.01})
+	}
+	for i := 0; i < 5; i++ {
+		scores = append(scores, 0.8-float64(i)*0.01)
+		features = append(features, []float64{-1, -1, float64(i) * 0.01})
+	}
+	return scores, features
+}
+
+func TestMMRLambdaOneIsPlainTopK(t *testing.T) {
+	scores, features := clusteredItems()
+	got, err := MMR(scores, features, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lambda=1 MMR = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMMRDiversifies(t *testing.T) {
+	scores, features := clusteredItems()
+	got, err := MMR(scores, features, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clusterA, clusterB int
+	for _, i := range got {
+		if i < 5 {
+			clusterA++
+		} else {
+			clusterB++
+		}
+	}
+	if clusterA == 0 || clusterB == 0 {
+		t.Errorf("MMR selection %v covers only one cluster", got)
+	}
+	// Diversified coverage beats plain top-k coverage.
+	plain, _ := MMR(scores, features, 4, 1)
+	if Coverage(got, features) <= Coverage(plain, features) {
+		t.Errorf("MMR coverage %.3f not above plain %.3f",
+			Coverage(got, features), Coverage(plain, features))
+	}
+}
+
+func TestMMRValidation(t *testing.T) {
+	if _, err := MMR(nil, nil, 3, 0.5); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := MMR([]float64{1}, [][]float64{{1}, {2}}, 1, 0.5); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := MMR([]float64{1}, [][]float64{{1}}, 1, 2); err == nil {
+		t.Error("bad lambda should fail")
+	}
+	// k beyond n clamps.
+	got, err := MMR([]float64{1, 2}, [][]float64{{1}, {2}}, 10, 0.5)
+	if err != nil || len(got) != 2 {
+		t.Errorf("clamped MMR = %v, %v", got, err)
+	}
+}
+
+func TestMMRProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		scores := make([]float64, n)
+		features := make([][]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			features[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		k := 1 + rng.Intn(n)
+		got, err := MMR(scores, features, k, rng.Float64())
+		if err != nil || len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity([]float64{1, 2}, []float64{1, 2}); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	near := Similarity([]float64{0, 0}, []float64{0.1, 0})
+	far := Similarity([]float64{0, 0}, []float64{10, 0})
+	if near <= far {
+		t.Errorf("similarity ordering wrong: %v vs %v", near, far)
+	}
+	if far <= 0 || far > 1 {
+		t.Errorf("similarity out of range: %v", far)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	features := [][]float64{{0, 0}, {3, 4}, {0, 0}}
+	if got := Coverage([]int{0, 1}, features); math.Abs(got-5) > 1e-12 {
+		t.Errorf("coverage = %v, want 5", got)
+	}
+	if got := Coverage([]int{0}, features); got != 0 {
+		t.Errorf("single-item coverage = %v", got)
+	}
+	if got := Coverage([]int{0, 2}, features); got != 0 {
+		t.Errorf("duplicate-point coverage = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"time"
+)
+
+// WriteEffortCSV writes Figure 3/4-style series as CSV rows
+// (dataset, components, k, labels) — one file per figure panel set, ready
+// for external plotting tools.
+func WriteEffortCSV(path string, curves []*EffortCurve) error {
+	return writeCSV(path, []string{"dataset", "components", "k", "labels"}, func(w *csv.Writer) error {
+		for _, c := range curves {
+			for i, k := range c.Ks {
+				if err := w.Write([]string{
+					c.Dataset, fmt.Sprint(c.Components), fmt.Sprint(k),
+					fmt.Sprintf("%.3f", c.Labels[i]),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// WriteBaselinesCSV writes the Figure 5 bars (ranker, precision).
+func WriteBaselinesCSV(path, fnName string, results []BaselineResult) error {
+	return writeCSV(path, []string{"ideal_function", "ranker", "precision"}, func(w *csv.Writer) error {
+		for _, r := range results {
+			if err := w.Write([]string{fnName, r.Name, fmt.Sprintf("%.3f", r.Precision)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteOptimizationCSV writes the Figure 6/7 series: labels and runtimes
+// (in milliseconds) for both configurations.
+func WriteOptimizationCSV(path string, c *OptimizationCurve) error {
+	header := []string{"dataset", "components", "alpha", "k",
+		"labels_baseline", "labels_optimized", "ms_baseline", "ms_optimized"}
+	return writeCSV(path, header, func(w *csv.Writer) error {
+		for _, p := range c.Points {
+			if err := w.Write([]string{
+				c.Dataset, fmt.Sprint(c.Components), fmt.Sprintf("%.2f", c.Alpha), fmt.Sprint(p.K),
+				fmt.Sprintf("%.3f", p.LabelsBaseline), fmt.Sprintf("%.3f", p.LabelsOptimized),
+				fmt.Sprintf("%.3f", float64(p.TimeBaseline)/float64(time.Millisecond)),
+				fmt.Sprintf("%.3f", float64(p.TimeOptimized)/float64(time.Millisecond)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func writeCSV(path string, header []string, body func(w *csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := body(w); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

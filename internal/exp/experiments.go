@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"viewseeker/internal/core"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/sim"
+)
+
+// DefaultKs is the k sweep of Figures 3, 4, 6 and 7.
+var DefaultKs = []int{5, 10, 15, 20, 25, 30}
+
+// defaultMaxLabels bounds simulated sessions; the paper's sessions finish
+// in 7–16 labels, so 100 is a generous safety margin.
+const defaultMaxLabels = 100
+
+// EffortCurve is one averaged series of Figures 3/4: labels needed to
+// reach 100% top-k precision as a function of k, averaged over an ideal-
+// utility-function group.
+type EffortCurve struct {
+	Dataset    string
+	Components int // 1, 2 or 3 — the u* group
+	Ks         []int
+	Labels     []float64 // average labels per k
+	Converged  bool      // every underlying session converged
+}
+
+// LabelsToFullPrecision runs Experiment 1 for one testbed and one u*
+// group: for each k it averages, over the group's ideal functions, the
+// number of labels the seeker needs before top-k precision reaches 100%.
+func LabelsToFullPrecision(tb *Testbed, components int, ks []int) (*EffortCurve, error) {
+	fns := sim.IdealFunctionsWithComponents(components)
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("exp: no ideal functions with %d components", components)
+	}
+	if len(ks) == 0 {
+		ks = DefaultKs
+	}
+	curve := &EffortCurve{Dataset: tb.Name, Components: components, Ks: ks, Converged: true}
+	for _, k := range ks {
+		total := 0.0
+		for _, fn := range fns {
+			user, err := sim.NewUser(fn, tb.Exact)
+			if err != nil {
+				return nil, err
+			}
+			seeker, err := core.NewSeeker(tb.Exact, core.Config{K: k}, false)
+			if err != nil {
+				return nil, err
+			}
+			runner := &sim.Runner{Seeker: seeker, User: user, K: k,
+				MaxLabels: defaultMaxLabels, Criterion: sim.StopAtFullPrecision}
+			res, err := runner.Run()
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s u*#%d k=%d: %w", tb.Name, fn.ID, k, err)
+			}
+			if !res.Converged {
+				curve.Converged = false
+			}
+			total += float64(res.LabelsUsed)
+		}
+		curve.Labels = append(curve.Labels, total/float64(len(fns)))
+	}
+	return curve, nil
+}
+
+// BaselineResult is one bar of Figure 5: the maximum top-k precision a
+// fixed ranker achieves against the ideal utility function.
+type BaselineResult struct {
+	Name      string
+	Precision float64
+}
+
+// BaselineComparison runs Experiment 2 (Figure 5): for the given ideal
+// function (the paper uses u* #11 on DIAB, k=10), it measures the
+// precision of each single utility feature used as a fixed ranker, and of
+// ViewSeeker after an interactive session.
+func BaselineComparison(tb *Testbed, fn sim.IdealFunction, k int) ([]BaselineResult, error) {
+	if k <= 0 {
+		k = 10
+	}
+	user, err := sim.NewUser(fn, tb.Exact)
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineResult
+	for j, name := range tb.Exact.Names {
+		scores := make([]float64, tb.Exact.Len())
+		for i, row := range tb.Exact.Rows {
+			scores[i] = row[j]
+		}
+		pred := sim.TopKByScore(scores, k)
+		p, err := sim.Precision(pred, user.Scores(), k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BaselineResult{Name: name, Precision: p})
+	}
+	seeker, err := core.NewSeeker(tb.Exact, core.Config{K: k}, false)
+	if err != nil {
+		return nil, err
+	}
+	runner := &sim.Runner{Seeker: seeker, User: user, K: k,
+		MaxLabels: defaultMaxLabels, Criterion: sim.StopAtFullPrecision}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineResult{Name: "ViewSeeker", Precision: res.FinalPrecision})
+	return out, nil
+}
+
+// OptimizationPoint is one k of Figures 6 and 7: labels to UD=0 and total
+// system runtime, with and without the α-sampling + incremental-refinement
+// optimisation.
+type OptimizationPoint struct {
+	K               int
+	LabelsBaseline  float64
+	LabelsOptimized float64
+	TimeBaseline    time.Duration
+	TimeOptimized   time.Duration
+}
+
+// OptimizationCurve is one u*-group series of Figures 6/7.
+type OptimizationCurve struct {
+	Dataset    string
+	Components int
+	Alpha      float64
+	Points     []OptimizationPoint
+}
+
+// OptimizationStudy compares the optimisations-enabled ViewSeeker against
+// the optimisations-disabled baseline (Section 5.2): both run to UD = 0;
+// runtime includes the offline feature pass plus all session compute.
+func OptimizationStudy(tb *Testbed, components int, ks []int, alpha float64, budget time.Duration) (*OptimizationCurve, error) {
+	fns := sim.IdealFunctionsWithComponents(components)
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("exp: no ideal functions with %d components", components)
+	}
+	if len(ks) == 0 {
+		ks = DefaultKs
+	}
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if budget <= 0 {
+		budget = time.Second
+	}
+	curve := &OptimizationCurve{Dataset: tb.Name, Components: components, Alpha: alpha}
+	for _, k := range ks {
+		pt := OptimizationPoint{K: k}
+		for _, fn := range fns {
+			user, err := sim.NewUser(fn, tb.Exact)
+			if err != nil {
+				return nil, err
+			}
+
+			// Baseline: full offline pass, no refinement.
+			gen, err := tb.NewGeneratorLike()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			exact, err := feature.Compute(gen, tb.Registry)
+			if err != nil {
+				return nil, err
+			}
+			seeker, err := core.NewSeeker(exact, core.Config{K: k}, false)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (&sim.Runner{Seeker: seeker, User: user, K: k,
+				MaxLabels: defaultMaxLabels, Criterion: sim.StopAtZeroUD}).Run()
+			if err != nil {
+				return nil, err
+			}
+			pt.TimeBaseline += time.Since(start)
+			pt.LabelsBaseline += float64(res.LabelsUsed)
+
+			// Optimised: α-sample offline pass + rank-ordered refinement.
+			gen, err = tb.NewGeneratorLike()
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			partial, err := feature.ComputePartial(gen, tb.Registry, alpha)
+			if err != nil {
+				return nil, err
+			}
+			seeker, err = core.NewSeeker(partial, core.Config{K: k, RefineBudget: budget}, true)
+			if err != nil {
+				return nil, err
+			}
+			res, err = (&sim.Runner{Seeker: seeker, User: user, K: k,
+				MaxLabels: defaultMaxLabels, Criterion: sim.StopAtZeroUD}).Run()
+			if err != nil {
+				return nil, err
+			}
+			pt.TimeOptimized += time.Since(start)
+			pt.LabelsOptimized += float64(res.LabelsUsed)
+		}
+		n := float64(len(fns))
+		pt.LabelsBaseline /= n
+		pt.LabelsOptimized /= n
+		pt.TimeBaseline /= time.Duration(n)
+		pt.TimeOptimized /= time.Duration(n)
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}

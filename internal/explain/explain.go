@@ -1,0 +1,161 @@
+// Package explain turns a recommended view into reasons a person can act
+// on. Recommenders that only output "utility 0.83" leave the analyst to
+// reverse-engineer what the chart says; this package inspects a view pair
+// and produces ranked, natural-language findings — which bar drives the
+// deviation, whether the subset trends against the population, whether the
+// difference is statistically meaningful — in the spirit of the top-k
+// insight extraction work the paper draws its p-value component from [26].
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viewseeker/internal/metric"
+	"viewseeker/internal/view"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+// The finding kinds, roughly ordered by how specific they are.
+const (
+	KindOutstandingBin Kind = "outstanding-bin" // one bar carries the deviation
+	KindMissingBin     Kind = "missing-bin"     // the subset is absent where the population is not
+	KindTrendReversal  Kind = "trend-reversal"  // subset trends against the population
+	KindSignificance   Kind = "significance"    // χ² test verdict on the whole view
+	KindConcentration  Kind = "concentration"   // subset mass concentrated in few bars
+	KindNothingNotable Kind = "nothing-notable" // the view looks like the population
+)
+
+// Finding is one explanation, scored for ranking (higher = stronger).
+type Finding struct {
+	Kind    Kind
+	Score   float64
+	Message string
+}
+
+// Explain inspects a pair and returns findings sorted strongest-first.
+// It never returns an empty slice: when nothing stands out it says so.
+func Explain(p *view.Pair) ([]Finding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tgt := p.Target.Distribution()
+	ref := p.Reference.Distribution()
+	var out []Finding
+
+	// Outstanding and missing bins.
+	type binDiff struct {
+		idx  int
+		diff float64
+	}
+	var diffs []binDiff
+	for i := range tgt {
+		diffs = append(diffs, binDiff{i, tgt[i] - ref[i]})
+	}
+	sort.Slice(diffs, func(a, b int) bool {
+		return math.Abs(diffs[a].diff) > math.Abs(diffs[b].diff)
+	})
+	if top := diffs[0]; math.Abs(top.diff) >= 0.15 {
+		direction := "over-represented"
+		if top.diff < 0 {
+			direction = "under-represented"
+		}
+		out = append(out, Finding{
+			Kind:  KindOutstandingBin,
+			Score: math.Abs(top.diff),
+			Message: fmt.Sprintf("%s is strongly %s in the subset: it carries %.0f%% of the chart's total vs %.0f%% on the reference side",
+				p.Target.Labels[top.idx], direction, tgt[top.idx]*100, ref[top.idx]*100),
+		})
+	}
+	for i := range tgt {
+		if p.Target.Counts[i] == 0 && ref[i] >= 0.1 {
+			out = append(out, Finding{
+				Kind:  KindMissingBin,
+				Score: ref[i],
+				Message: fmt.Sprintf("the subset has no data at all in %s, which carries %.0f%% of the reference chart",
+					p.Target.Labels[i], ref[i]*100),
+			})
+		}
+	}
+
+	// Trend reversal (meaningful for ordered bins; harmless elsewhere).
+	tSlope, rSlope := p.Target.TrendSlope(), p.Reference.TrendSlope()
+	if tSlope*rSlope < 0 && math.Abs(tSlope-rSlope) >= 0.1 {
+		dir := "rises"
+		opp := "falls"
+		if tSlope < 0 {
+			dir, opp = opp, dir
+		}
+		out = append(out, Finding{
+			Kind:  KindTrendReversal,
+			Score: math.Abs(tSlope - rSlope),
+			Message: fmt.Sprintf("across the bins the subset %s where the population %s (normalised slopes %+.2f vs %+.2f)",
+				dir, opp, tSlope, rSlope),
+		})
+	}
+
+	// Statistical significance of the overall deviation.
+	pScore, err := metric.PValueScore(p.Target.Counts, ref)
+	if err != nil {
+		return nil, err
+	}
+	if pScore >= 0.95 {
+		out = append(out, Finding{
+			Kind:  KindSignificance,
+			Score: pScore - 0.9,
+			Message: fmt.Sprintf("the deviation is statistically significant (p < %.3g under a χ² test against the population distribution)",
+				1-pScore+1e-3),
+		})
+	}
+
+	// Concentration: more than half the subset's mass in one bar while the
+	// population spreads out.
+	maxT, maxIdx := 0.0, 0
+	for i, v := range tgt {
+		if v > maxT {
+			maxT, maxIdx = v, i
+		}
+	}
+	if maxT >= 0.5 && ref[maxIdx] <= maxT/2 {
+		out = append(out, Finding{
+			Kind:  KindConcentration,
+			Score: maxT - ref[maxIdx],
+			Message: fmt.Sprintf("over half the subset (%.0f%%) falls in %s alone",
+				maxT*100, p.Target.Labels[maxIdx]),
+		})
+	}
+
+	if len(out) == 0 {
+		l1, err := metric.L1(tgt, ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Finding{
+			Kind:    KindNothingNotable,
+			Score:   0,
+			Message: fmt.Sprintf("the subset closely follows the population on this view (L1 distance %.3f)", l1),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out, nil
+}
+
+// Summarize renders the strongest findings (up to max) as a bulleted
+// plain-text block.
+func Summarize(p *view.Pair, max int) (string, error) {
+	findings, err := Explain(p)
+	if err != nil {
+		return "", err
+	}
+	if max <= 0 || max > len(findings) {
+		max = len(findings)
+	}
+	s := ""
+	for _, f := range findings[:max] {
+		s += "- " + f.Message + "\n"
+	}
+	return s, nil
+}

@@ -1,0 +1,128 @@
+package feature
+
+import (
+	"fmt"
+	"runtime"
+
+	"viewseeker/internal/view"
+)
+
+// Matrix holds the utility-feature vector of every view in the space,
+// together with per-view exactness flags: a row computed from an α-sample
+// is "rough" until the optimiser refreshes it against the full data.
+type Matrix struct {
+	Specs []view.Spec
+	Names []string
+	Rows  [][]float64
+	Exact []bool
+
+	gen      *view.Generator
+	registry *Registry
+}
+
+// Compute builds the matrix over the full data: the unoptimised offline
+// phase of ViewSeeker.
+func Compute(g *view.Generator, r *Registry) (*Matrix, error) {
+	return computeMatrix(g, r, nil, true)
+}
+
+// ComputePartial builds the matrix from a uniform α-sample of the
+// reference table — the "rough" utility scores of the optimisation. The
+// target subset DQ is always scanned exactly: it is a fraction of a
+// percent of the data, so sampling it would add noise without saving
+// meaningful work. Rows are marked inexact; RefreshRow upgrades them on
+// demand.
+func ComputePartial(g *view.Generator, r *Registry, alpha float64) (*Matrix, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("feature: alpha must be in (0, 1], got %g", alpha)
+	}
+	if alpha == 1 {
+		return Compute(g, r)
+	}
+	return computeMatrix(g, r, g.Ref.SampleRows(alpha), false)
+}
+
+func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool) (*Matrix, error) {
+	specs := g.Specs()
+	m := &Matrix{
+		Specs:    specs,
+		Names:    r.Names(),
+		Rows:     make([][]float64, len(specs)),
+		Exact:    make([]bool, len(specs)),
+		gen:      g,
+		registry: r,
+	}
+	// Exact passes go through the generator's persistent caches so later
+	// RefreshRow calls (a no-op here, but uniform) share the same scans —
+	// warmed concurrently, since full-data layout scans dominate the
+	// offline phase and are independent. Sampled passes get run-scoped
+	// caches.
+	pairOf := g.Pair
+	if refRows != nil {
+		pairOf = g.NewSampledRun(refRows, nil).Pair
+	} else if err := g.Warm(runtime.NumCPU()); err != nil {
+		return nil, err
+	}
+	for i, s := range specs {
+		p, err := pairOf(s)
+		if err != nil {
+			return nil, err
+		}
+		vec, err := r.Vector(p)
+		if err != nil {
+			return nil, err
+		}
+		m.Rows[i] = vec
+		m.Exact[i] = exact
+	}
+	return m, nil
+}
+
+// Len returns the number of views.
+func (m *Matrix) Len() int { return len(m.Rows) }
+
+// AllExact reports whether every row has been computed on the full data.
+func (m *Matrix) AllExact() bool {
+	for _, e := range m.Exact {
+		if !e {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactCount returns how many rows are exact.
+func (m *Matrix) ExactCount() int {
+	n := 0
+	for _, e := range m.Exact {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// RefreshRow recomputes view i on the full data and marks it exact. It is
+// a no-op for rows that are already exact. The refresh scans only the
+// view's own measure (see view.PairFocused) so that the optimisation's
+// pruning — never refreshing unpromising views — translates into real
+// work saved.
+func (m *Matrix) RefreshRow(i int) error {
+	if i < 0 || i >= len(m.Rows) {
+		return fmt.Errorf("feature: row %d out of range [0, %d)", i, len(m.Rows))
+	}
+	if m.Exact[i] {
+		return nil
+	}
+	p, err := m.gen.PairFocused(m.Specs[i])
+	if err != nil {
+		return err
+	}
+	vec, err := m.registry.Vector(p)
+	if err != nil {
+		return err
+	}
+	m.Rows[i] = vec
+	m.Exact[i] = true
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package feature turns view pairs into utility-feature vectors — the
+// internal representation ViewSeeker trains on. Each feature is one
+// "utility component" from the literature (Section 3.1 of the paper lists
+// the eight the prototype ships); users may register custom components for
+// personalised analysis.
+package feature
+
+import (
+	"fmt"
+
+	"viewseeker/internal/metric"
+	"viewseeker/internal/view"
+)
+
+// Canonical names of the eight standard utility features, in their fixed
+// order. Weight vectors (Eq. 4) index features in this order.
+const (
+	KL        = "KL"
+	EMD       = "EMD"
+	L1        = "L1"
+	L2        = "L2"
+	MaxDiff   = "MAX_DIFF"
+	Usability = "USABILITY"
+	Accuracy  = "ACCURACY"
+	PValue    = "P_VALUE"
+)
+
+// Feature is one utility component: a named function of a view pair.
+type Feature struct {
+	Name    string
+	Compute func(p *view.Pair) (float64, error)
+}
+
+// Registry is an ordered, name-unique collection of features.
+type Registry struct {
+	feats []Feature
+	index map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{index: make(map[string]int)} }
+
+// StandardRegistry returns the paper's eight utility features: the five
+// deviation measures between target and reference distributions, plus
+// Usability, Accuracy and the p-value score.
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+	dist := func(f func(p, q []float64) (float64, error)) func(*view.Pair) (float64, error) {
+		return func(p *view.Pair) (float64, error) {
+			return f(p.Target.Distribution(), p.Reference.Distribution())
+		}
+	}
+	for _, f := range []Feature{
+		{KL, dist(metric.KLDivergence)},
+		{EMD, dist(metric.EMD)},
+		{L1, dist(metric.L1)},
+		{L2, dist(metric.L2)},
+		{MaxDiff, dist(metric.MaxDiff)},
+		{Usability, func(p *view.Pair) (float64, error) {
+			return metric.Usability(p.Target.Bins())
+		}},
+		{Accuracy, func(p *view.Pair) (float64, error) {
+			return metric.Accuracy(p.Target.Counts, p.Target.Sums, p.Target.SumSqs)
+		}},
+		{PValue, func(p *view.Pair) (float64, error) {
+			return metric.PValueScore(p.Target.Counts, p.Reference.Distribution())
+		}},
+	} {
+		if err := r.Add(f); err != nil {
+			panic(err) // unreachable: names are unique by construction
+		}
+	}
+	return r
+}
+
+// Canonical names of the optional extended deviation features.
+const (
+	JS        = "JS"
+	Hellinger = "HELLINGER"
+	ChiSqDist = "CHI2_DIST"
+)
+
+// ExtendedRegistry returns the standard eight features plus the optional
+// deviation measures from the wider literature: Jensen–Shannon divergence,
+// Hellinger distance and the symmetric χ² distance. The ideal utility
+// functions of Table 2 never reference these, so the paper's experiments
+// are unaffected; they exist for users whose notion of "interesting"
+// matches a different geometry.
+func ExtendedRegistry() *Registry {
+	r := StandardRegistry()
+	dist := func(f func(p, q []float64) (float64, error)) func(*view.Pair) (float64, error) {
+		return func(p *view.Pair) (float64, error) {
+			return f(p.Target.Distribution(), p.Reference.Distribution())
+		}
+	}
+	for _, f := range []Feature{
+		{JS, dist(metric.JensenShannon)},
+		{Hellinger, dist(metric.Hellinger)},
+		{ChiSqDist, dist(metric.ChiSquareDistance)},
+	} {
+		if err := r.Add(f); err != nil {
+			panic(err) // unreachable: names are unique by construction
+		}
+	}
+	return r
+}
+
+// TrendDiff returns an optional utility feature for line-chart-style
+// exploration: the absolute difference between the normalised linear
+// trend slopes of the target and reference series. Analysts hunting for
+// "the subset trends up where the population trends down" register it via
+// Registry.Add (it is not part of the paper's standard eight).
+func TrendDiff() Feature {
+	return Feature{
+		Name: "TREND_DIFF",
+		Compute: func(p *view.Pair) (float64, error) {
+			d := p.Target.TrendSlope() - p.Reference.TrendSlope()
+			if d < 0 {
+				d = -d
+			}
+			return d, nil
+		},
+	}
+}
+
+// AddQuadratic extends a registry with the pairwise products of its
+// current features (including squares), named "A*B". A linear estimator
+// over the extended space captures multiplicative utility functions —
+// e.g. u* = EMD·KL — that the paper's linear composition (Eq. 4) cannot.
+// Call it after all base features are registered.
+func AddQuadratic(r *Registry) error {
+	base := make([]Feature, len(r.feats))
+	copy(base, r.feats)
+	for i := 0; i < len(base); i++ {
+		for j := i; j < len(base); j++ {
+			fi, fj := base[i], base[j]
+			err := r.Add(Feature{
+				Name: fi.Name + "*" + fj.Name,
+				Compute: func(p *view.Pair) (float64, error) {
+					a, err := fi.Compute(p)
+					if err != nil {
+						return 0, err
+					}
+					b, err := fj.Compute(p)
+					if err != nil {
+						return 0, err
+					}
+					return a * b, nil
+				},
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Add appends a feature. Names must be unique and non-empty.
+func (r *Registry) Add(f Feature) error {
+	if f.Name == "" || f.Compute == nil {
+		return fmt.Errorf("feature: feature needs a name and a compute function")
+	}
+	if _, dup := r.index[f.Name]; dup {
+		return fmt.Errorf("feature: duplicate feature %q", f.Name)
+	}
+	r.index[f.Name] = len(r.feats)
+	r.feats = append(r.feats, f)
+	return nil
+}
+
+// Len returns the number of features.
+func (r *Registry) Len() int { return len(r.feats) }
+
+// Names returns the feature names in order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.feats))
+	for i, f := range r.feats {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Index returns the position of a named feature, or -1.
+func (r *Registry) Index(name string) int {
+	if i, ok := r.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Vector computes all features for one pair, in registry order.
+func (r *Registry) Vector(p *view.Pair) ([]float64, error) {
+	out := make([]float64, len(r.feats))
+	for i, f := range r.feats {
+		v, err := f.Compute(p)
+		if err != nil {
+			return nil, fmt.Errorf("feature: computing %s for %s: %w", f.Name, p.Spec, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAt(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Errorf("unexpected matrix %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("expected ragged-rows error")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 6 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(3, 5)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGramMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMatrix(20, 6)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	want, err := m.T().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Gram()
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("Gram mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a.Clone(), []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a.Clone(), []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a.Clone(), []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // diagonal dominance => well-conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			return false
+		}
+		got, err := Solve(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(got, want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyAndSolve(t *testing.T) {
+	// SPD matrix built as GᵀG + I.
+	rng := rand.New(rand.NewSource(4))
+	g := NewMatrix(8, 4)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	a := g.Gram()
+	for i := 0; i < 4; i++ {
+		a.Add(i, i, 1)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := l.Mul(l.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if !almostEqual(back.Data[i], a.Data[i], 1e-9) {
+			t.Fatalf("L·Lᵀ mismatch at %d", i)
+		}
+	}
+	want := []float64{1, -2, 3, 0.5}
+	b, _ := a.MulVec(want)
+	got, err := SolveCholesky(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(got, want) > 1e-8 {
+		t.Errorf("SolveCholesky = %v, want %v", got, want)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected non-SPD error")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Error("Norm2 wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("AXPY = %v", y)
+	}
+	x := []float64{2, 4}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("Scale = %v", x)
+	}
+	if MaxAbsDiff([]float64{1, 5}, []float64{2, 3}) != 2 {
+		t.Error("MaxAbsDiff wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDists(bins int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() []float64 {
+		v := make([]float64, bins)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return Normalize(v)
+	}
+	return mk(), mk()
+}
+
+func BenchmarkAllDeviations(b *testing.B) {
+	p, q := benchDists(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range []func(a, b []float64) (float64, error){KLDivergence, EMD, L1, L2, MaxDiff} {
+			if _, err := f(p, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPValueScore(b *testing.B) {
+	_, q := benchDists(10)
+	counts := make([]float64, 10)
+	for i := range counts {
+		counts[i] = float64(10 + i*7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PValueScore(counts, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChiSquareCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ChiSquareCDF(12.5, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

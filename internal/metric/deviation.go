@@ -1,0 +1,131 @@
+// Package metric implements the utility components ViewSeeker composes
+// into view utility features: the five deviation distances between a
+// target-view and a reference-view probability distribution (KL divergence,
+// Earth Mover's Distance, L1, L2, maximum per-bin deviation), the Usability
+// and Accuracy quality measures of MuVE, and the χ²-based p-value of
+// top-k-insights. All functions are pure and operate on normalised
+// distributions represented as []float64.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// epsilon smooths zero bins for KL divergence so empty bins do not produce
+// infinities; it is far below any mass a real view can carry.
+const epsilon = 1e-9
+
+func checkPair(p, q []float64) error {
+	if len(p) != len(q) {
+		return fmt.Errorf("metric: distributions have %d and %d bins", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("metric: empty distributions")
+	}
+	return nil
+}
+
+// KLDivergence returns D(p‖q) = Σ p·log(p/q) with epsilon smoothing. It is
+// the "sum of deviation in individual bins" component of the paper.
+func KLDivergence(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		pi := p[i]
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < epsilon {
+			qi = epsilon
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 {
+		d = 0 // guard tiny negative residue from smoothing
+	}
+	return d, nil
+}
+
+// EMD returns the 1-D Earth Mover's Distance between two distributions on
+// the same ordered bins: the L1 distance of their CDFs. It is the
+// "deviations across bins" component.
+func EMD(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d, c := 0.0, 0.0
+	for i := range p {
+		c += p[i] - q[i]
+		d += math.Abs(c)
+	}
+	return d, nil
+}
+
+// L1 returns the Manhattan distance Σ|pᵢ−qᵢ|.
+func L1(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d, nil
+}
+
+// L2 returns the Euclidean distance √Σ(pᵢ−qᵢ)².
+func L2(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		t := p[i] - q[i]
+		d += t * t
+	}
+	return math.Sqrt(d), nil
+}
+
+// MaxDiff returns the maximum per-bin deviation max|pᵢ−qᵢ|.
+func MaxDiff(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	m := 0.0
+	for i := range p {
+		if d := math.Abs(p[i] - q[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// Normalize scales non-negative bin values into a probability distribution
+// (Eq. 5). An all-zero histogram normalises to the uniform distribution so
+// downstream distances stay defined.
+func Normalize(bins []float64) []float64 {
+	out := make([]float64, len(bins))
+	total := 0.0
+	for _, v := range bins {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		u := 1 / float64(len(bins))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i, v := range bins {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}

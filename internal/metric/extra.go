@@ -1,0 +1,63 @@
+package metric
+
+import "math"
+
+// JensenShannon returns the Jensen–Shannon divergence between two
+// distributions: the symmetrised, always-finite relative of KL divergence,
+// bounded by ln 2. Some view-recommendation systems prefer it to raw KL
+// because empty bins need no smoothing.
+func JensenShannon(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 && m > 0 {
+			d += 0.5 * p[i] * math.Log(p[i]/m)
+		}
+		if q[i] > 0 && m > 0 {
+			d += 0.5 * q[i] * math.Log(q[i]/m)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// Hellinger returns the Hellinger distance H(p, q) =
+// √(1 − Σ√(pᵢ·qᵢ)) ∈ [0, 1] — a true metric on distributions.
+func Hellinger(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	bc := 0.0 // Bhattacharyya coefficient
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			bc += math.Sqrt(p[i] * q[i])
+		}
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc), nil
+}
+
+// ChiSquareDistance returns the (symmetric) χ² distance
+// ½ Σ (pᵢ−qᵢ)²/(pᵢ+qᵢ), with empty bin pairs contributing nothing.
+func ChiSquareDistance(p, q []float64) (float64, error) {
+	if err := checkPair(p, q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		s := p[i] + q[i]
+		if s <= 0 {
+			continue
+		}
+		t := p[i] - q[i]
+		d += t * t / s
+	}
+	return d / 2, nil
+}

@@ -1,0 +1,116 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// idealBins is the bin count at which the Usability score peaks. Around
+// 7–9 bars is the uncluttered sweet spot MuVE's relative-bin-width metric
+// rewards: fewer bins under-resolve the data, more bins clutter the chart.
+const idealBins = 8
+
+// Usability quantifies the visual quality of a view via the relative bin
+// width, following MuVE [5]: the score is 1 at the ideal bin count and
+// decays symmetrically in log-space as bins get relatively narrower
+// (too many) or wider (too few). The result is in (0, 1].
+func Usability(bins int) (float64, error) {
+	if bins <= 0 {
+		return 0, fmt.Errorf("metric: usability needs ≥ 1 bin, got %d", bins)
+	}
+	return 1 / (1 + math.Abs(math.Log2(float64(bins)/idealBins))), nil
+}
+
+// Accuracy quantifies how faithfully the binned view represents the raw
+// measure values, following MuVE [5]: the within-bin Sum of Squared Errors
+// of the measure around each bin's mean, normalised by the total sum of
+// squares, mapped so that 1 is a lossless view and values fall toward 0 as
+// binning discards more structure.
+//
+// counts[i], sums[i] and sumSqs[i] are the per-bin count, Σv and Σv² of the
+// target view's measure values.
+func Accuracy(counts []float64, sums []float64, sumSqs []float64) (float64, error) {
+	if len(counts) != len(sums) || len(counts) != len(sumSqs) {
+		return 0, fmt.Errorf("metric: accuracy inputs have mismatched lengths %d/%d/%d",
+			len(counts), len(sums), len(sumSqs))
+	}
+	if len(counts) == 0 {
+		return 0, fmt.Errorf("metric: accuracy needs at least one bin")
+	}
+	var n, total, totalSq float64
+	sse := 0.0
+	for i := range counts {
+		c := counts[i]
+		if c <= 0 {
+			continue
+		}
+		n += c
+		total += sums[i]
+		totalSq += sumSqs[i]
+		// Within-bin SSE: Σv² − (Σv)²/c.
+		sse += sumSqs[i] - sums[i]*sums[i]/c
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	tss := totalSq - total*total/n // total sum of squares around the grand mean
+	if tss <= 1e-12 {
+		return 1, nil // constant measure: any binning is lossless
+	}
+	if sse < 0 {
+		sse = 0
+	}
+	r := 1 - sse/tss
+	if r < 0 {
+		r = 0
+	}
+	return r, nil
+}
+
+// PValueScore converts a χ² goodness-of-fit test of the target histogram
+// against the reference distribution into an interestingness score in
+// [0, 1]: 1 − p-value, so more extreme targets (smaller p) score higher,
+// matching how the paper uses p-value as a utility component [26]. The null
+// hypothesis is "the target is drawn from the reference distribution".
+//
+// targetCounts are the raw (un-normalised) per-bin counts of the target
+// view; refDist is the normalised reference distribution.
+func PValueScore(targetCounts []float64, refDist []float64) (float64, error) {
+	if err := checkPair(targetCounts, refDist); err != nil {
+		return 0, err
+	}
+	n := 0.0
+	for _, c := range targetCounts {
+		if c < 0 {
+			return 0, fmt.Errorf("metric: negative target count %g", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return 0, nil // no data: nothing extreme about it
+	}
+	chi2 := 0.0
+	df := -1 // bins − 1 degrees of freedom
+	for i := range targetCounts {
+		exp := refDist[i] * n
+		if exp < epsilon {
+			// The reference says this bin is impossible; any observed mass
+			// there is maximally surprising.
+			if targetCounts[i] > 0 {
+				return 1, nil
+			}
+			continue
+		}
+		d := targetCounts[i] - exp
+		chi2 += d * d / exp
+		df++
+	}
+	if df < 1 {
+		return 0, nil
+	}
+	cdf, err := ChiSquareCDF(chi2, df)
+	if err != nil {
+		return 0, err
+	}
+	return cdf, nil // cdf = 1 − p
+}

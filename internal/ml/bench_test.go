@@ -1,0 +1,61 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n, k int) ([][]float64, []float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, n)
+	yReg := make([]float64, n)
+	yCls := make([]float64, n)
+	for i := range rows {
+		r := make([]float64, k)
+		s := 0.0
+		for j := range r {
+			r[j] = rng.NormFloat64()
+			s += r[j] * float64(j+1) * 0.1
+		}
+		rows[i] = r
+		yReg[i] = s
+		if s > 0 {
+			yCls[i] = 1
+		}
+	}
+	return rows, yReg, yCls
+}
+
+func BenchmarkLinearRegressionFit(b *testing.B) {
+	rows, y, _ := benchData(100, 8)
+	m := NewLinearRegression(1e-6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(rows, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearRegressionPredictAll(b *testing.B) {
+	rows, y, _ := benchData(280, 8)
+	m := NewLinearRegression(1e-6)
+	if err := m.Fit(rows[:50], y[:50]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictAll(rows)
+	}
+}
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	rows, _, y := benchData(100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLogisticRegression()
+		if err := m.Fit(rows, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

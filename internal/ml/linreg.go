@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"fmt"
+
+	"viewseeker/internal/linalg"
+)
+
+// LinearRegression is the view utility estimator: ŷ = w·x + b fitted by
+// ridge-regularised least squares over standardised features. Ridge keeps
+// the normal equations well-posed in the early iterations, when there are
+// fewer labels than features — exactly the regime ViewSeeker's cold start
+// operates in.
+type LinearRegression struct {
+	// Lambda is the ridge penalty. Zero is ordinary least squares (and will
+	// fail on rank-deficient designs); the default used by ViewSeeker is
+	// small, just enough to recover exact linear targets while keeping the
+	// normal equations well-posed.
+	Lambda float64
+	// ExternalScaler, when set, standardises features with statistics the
+	// caller fitted elsewhere — in ViewSeeker, over the whole view space
+	// rather than just the labelled rows. In a transductive setting this
+	// matters: a feature that is near-constant among the labelled views
+	// but wide-ranged globally would otherwise turn into a huge-leverage
+	// direction, and predictions on unlabelled views would extrapolate
+	// wildly off a handful of noisy labels.
+	ExternalScaler *Scaler
+
+	weights []float64 // on standardised features
+	bias    float64
+	scaler  *Scaler
+}
+
+// NewLinearRegression returns an estimator with the given ridge penalty.
+func NewLinearRegression(lambda float64) *LinearRegression {
+	return &LinearRegression{Lambda: lambda}
+}
+
+// Fit solves the regularised normal equations (Xᵀ X + λI)·w = Xᵀ y on
+// standardised, centred data. It requires at least one row.
+func (m *LinearRegression) Fit(rows [][]float64, y []float64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("ml: linear regression needs at least one labelled row")
+	}
+	if len(rows) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(rows), len(y))
+	}
+	scaler := m.ExternalScaler
+	if scaler == nil {
+		var err error
+		scaler, err = FitScaler(rows)
+		if err != nil {
+			return err
+		}
+	}
+	std := scaler.TransformAll(rows)
+	k := len(std[0])
+	// Centre both the labels and the (standardised) design by the
+	// labelled set's own means, so the intercept decouples regardless of
+	// where the scaler's statistics came from (internal fits have zero
+	// column means anyway; external, whole-space scalers do not).
+	yMean := 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(len(y))
+	colMeans := make([]float64, k)
+	for _, r := range std {
+		for j, v := range r {
+			colMeans[j] += v
+		}
+	}
+	for j := range colMeans {
+		colMeans[j] /= float64(len(std))
+	}
+
+	x := linalg.NewMatrix(len(std), k)
+	for i, r := range std {
+		for j, v := range r {
+			x.Set(i, j, v-colMeans[j])
+		}
+	}
+	gram := x.Gram()
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 0
+	}
+	for i := 0; i < k; i++ {
+		gram.Add(i, i, lambda)
+	}
+	rhs := make([]float64, k)
+	for i, r := range std {
+		resid := y[i] - yMean
+		for j, v := range r {
+			rhs[j] += (v - colMeans[j]) * resid
+		}
+	}
+	w, err := linalg.SolveCholesky(gram, rhs)
+	if err != nil {
+		// Rank-deficient and unregularised: fall back to pivoted Gaussian
+		// elimination with a tiny jitter so early-session fits always
+		// produce some estimator.
+		for i := 0; i < k; i++ {
+			gram.Add(i, i, 1e-9)
+		}
+		w, err = linalg.Solve(gram, rhs)
+		if err != nil {
+			return fmt.Errorf("ml: fitting linear regression: %w", err)
+		}
+	}
+	m.weights = w
+	m.bias = yMean - linalg.Dot(w, colMeans)
+	m.scaler = scaler
+	return nil
+}
+
+// Fitted reports whether Fit has succeeded at least once.
+func (m *LinearRegression) Fitted() bool { return m.scaler != nil }
+
+// Predict returns ŷ for one feature row. Calling Predict before Fit
+// returns 0.
+func (m *LinearRegression) Predict(row []float64) float64 {
+	if m.scaler == nil {
+		return 0
+	}
+	return m.bias + linalg.Dot(m.weights, m.scaler.Transform(row))
+}
+
+// PredictAll returns predictions for every row.
+func (m *LinearRegression) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.Predict(r)
+	}
+	return out
+}
+
+// Weights returns the learned weights mapped back to the original
+// (unstandardised) feature space, plus the matching intercept. This is the
+// recovered utility-function composition β of Eq. 4 that ViewSeeker reports.
+func (m *LinearRegression) Weights() (w []float64, intercept float64) {
+	if m.scaler == nil {
+		return nil, 0
+	}
+	w = make([]float64, len(m.weights))
+	intercept = m.bias
+	for j := range m.weights {
+		w[j] = m.weights[j] / m.scaler.Std[j]
+		intercept -= w[j] * m.scaler.Mean[j]
+	}
+	return w, intercept
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"viewseeker/internal/linalg"
+)
+
+// LogisticRegression is the uncertainty estimator: a binary classifier
+// whose predicted probability p(y=1|x) feeds the least-confidence query
+// strategy (Eq. 6). It is trained by full-batch gradient descent with L2
+// regularisation on standardised features.
+type LogisticRegression struct {
+	// LearningRate is the gradient step size (default 0.5 when zero).
+	LearningRate float64
+	// Epochs bounds the number of full-batch passes (default 500 when zero).
+	Epochs int
+	// Lambda is the L2 penalty (default 1e-3 when zero or negative).
+	Lambda float64
+	// Tol stops training early when the max weight update falls below it
+	// (default 1e-8 when zero).
+	Tol float64
+	// ExternalScaler, when set, standardises with caller-fitted statistics
+	// (see ml.LinearRegression.ExternalScaler for why transductive callers
+	// want whole-space statistics).
+	ExternalScaler *Scaler
+
+	weights []float64
+	bias    float64
+	scaler  *Scaler
+}
+
+// NewLogisticRegression returns a classifier with library defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{LearningRate: 0.5, Epochs: 500, Lambda: 1e-3, Tol: 1e-8}
+}
+
+func sigmoid(z float64) float64 {
+	// Numerically stable split.
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Fit trains on rows with binary labels (0 or 1). At least one row is
+// required; a single-class dataset is legal and yields a confident constant
+// classifier, which the cold-start stage relies on.
+func (m *LogisticRegression) Fit(rows [][]float64, y []float64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("ml: logistic regression needs at least one labelled row")
+	}
+	if len(rows) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(rows), len(y))
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: label %d is %v, want 0 or 1", i, v)
+		}
+	}
+	lr := m.LearningRate
+	if lr <= 0 {
+		lr = 0.5
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 500
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	scaler := m.ExternalScaler
+	if scaler == nil {
+		var err error
+		scaler, err = FitScaler(rows)
+		if err != nil {
+			return err
+		}
+	}
+	std := scaler.TransformAll(rows)
+	k := len(std[0])
+	w := make([]float64, k)
+	b := 0.0
+	n := float64(len(std))
+	grad := make([]float64, k)
+	for epoch := 0; epoch < epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gb := 0.0
+		for i, r := range std {
+			p := sigmoid(b + linalg.Dot(w, r))
+			d := p - y[i]
+			gb += d
+			linalg.AXPY(d, r, grad)
+		}
+		maxStep := 0.0
+		for j := range w {
+			g := grad[j]/n + lambda*w[j]
+			step := lr * g
+			w[j] -= step
+			if s := math.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		b -= lr * gb / n
+		if maxStep < tol && math.Abs(lr*gb/n) < tol {
+			break
+		}
+	}
+	m.weights = w
+	m.bias = b
+	m.scaler = scaler
+	return nil
+}
+
+// Fitted reports whether Fit has succeeded at least once.
+func (m *LogisticRegression) Fitted() bool { return m.scaler != nil }
+
+// Prob returns p(y=1|x). Before Fit it returns 0.5 — maximal uncertainty,
+// which makes an untrained uncertainty estimator equivalent to random
+// selection.
+func (m *LogisticRegression) Prob(row []float64) float64 {
+	if m.scaler == nil {
+		return 0.5
+	}
+	return sigmoid(m.bias + linalg.Dot(m.weights, m.scaler.Transform(row)))
+}
+
+// Uncertainty returns the least-confidence score of Eq. 6:
+// 1 − p(ŷ|x) where ŷ is the predicted class. It is maximised (0.5) when
+// p(y=1|x) = 0.5.
+func (m *LogisticRegression) Uncertainty(row []float64) float64 {
+	p := m.Prob(row)
+	if p < 0.5 {
+		return p
+	}
+	return 1 - p
+}

@@ -1,0 +1,75 @@
+// Package ml implements the two learners ViewSeeker needs, from scratch on
+// top of internal/linalg: a ridge-regularised linear regression (the view
+// utility estimator) and a logistic regression trained by gradient descent
+// (the uncertainty estimator), plus the feature standardiser both share.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler standardises feature columns to zero mean and unit variance.
+// Columns with zero variance are passed through centred only, so constant
+// features cannot blow up the transform.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes the per-column statistics of the design rows.
+func FitScaler(rows [][]float64) (*Scaler, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ml: cannot fit scaler on empty data")
+	}
+	k := len(rows[0])
+	s := &Scaler{Mean: make([]float64, k), Std: make([]float64, k)}
+	for _, r := range rows {
+		if len(r) != k {
+			return nil, fmt.Errorf("ml: ragged design row (%d cols, want %d)", len(r), k)
+		}
+		for j, v := range r {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(rows))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		// Columns that are constant — or nearly so relative to their
+		// magnitude — pass through centred only. Without the relative
+		// test, a feature like a p-value score that saturates at 1.0 with
+		// a 1e-8 spread becomes a huge-leverage direction after
+		// standardisation and lets the estimator fit pure label noise.
+		if s.Std[j] <= 1e-6*(1+math.Abs(s.Mean[j])) {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns the standardised copy of one row.
+func (s *Scaler) Transform(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardises every row.
+func (s *Scaler) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Transform(r)
+	}
+	return out
+}

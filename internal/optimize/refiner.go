@@ -1,0 +1,76 @@
+// Package optimize implements the paper's Section 3.3 optimisations: the
+// α-sample "rough" feature pass lives in internal/feature (ComputePartial);
+// this package schedules the incremental refinement of rough feature rows
+// against the full data, in utility-estimator rank order, under the
+// per-iteration latency budget tl — hiding the expensive computation inside
+// the user's labelling time.
+package optimize
+
+import (
+	"fmt"
+	"time"
+
+	"viewseeker/internal/feature"
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// Refiner incrementally upgrades inexact feature rows to exact ones.
+type Refiner struct {
+	Matrix *feature.Matrix
+	// Now is the clock (default time.Now).
+	Now Clock
+	// MinPerCall guarantees progress even under a zero/tiny budget: at
+	// least this many rows are refreshed per Refine call while any remain
+	// (default 1).
+	MinPerCall int
+}
+
+// NewRefiner wraps a matrix.
+func NewRefiner(m *feature.Matrix) *Refiner { return &Refiner{Matrix: m} }
+
+// Done reports whether every row is already exact.
+func (r *Refiner) Done() bool { return r.Matrix.AllExact() }
+
+// Refine refreshes rows in the given priority order (highest priority
+// first) until the budget elapses or everything is exact. It returns the
+// number of rows refreshed. Rows already exact cost nothing and are
+// skipped. A nil priority refreshes in index order.
+func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
+	if r.Matrix == nil {
+		return 0, fmt.Errorf("optimize: refiner has no matrix")
+	}
+	now := r.Now
+	if now == nil {
+		now = time.Now
+	}
+	minPer := r.MinPerCall
+	if minPer <= 0 {
+		minPer = 1
+	}
+	if priority == nil {
+		priority = make([]int, r.Matrix.Len())
+		for i := range priority {
+			priority[i] = i
+		}
+	}
+	deadline := now().Add(budget)
+	refreshed := 0
+	for _, i := range priority {
+		if i < 0 || i >= r.Matrix.Len() {
+			return refreshed, fmt.Errorf("optimize: priority index %d out of range", i)
+		}
+		if r.Matrix.Exact[i] {
+			continue
+		}
+		if refreshed >= minPer && !now().Before(deadline) {
+			break
+		}
+		if err := r.Matrix.RefreshRow(i); err != nil {
+			return refreshed, err
+		}
+		refreshed++
+	}
+	return refreshed, nil
+}

@@ -1,0 +1,278 @@
+// Package scatter extends ViewSeeker to scatter-plot views — the first
+// item on the paper's future-work list ("extend it to support more
+// visualization types, such as scatter plot, line chart etc."). A scatter
+// view is an unordered pair of measure attributes (x, y); its target plots
+// the query subset DQ, its reference the whole dataset DR. Utility
+// features capture how differently the two populations co-vary: the
+// change in Pearson correlation and regression slope, the standardised
+// mean shift of the subset, and its support. The resulting feature matrix
+// plugs into the same active-learning core as histogram views.
+package scatter
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/view"
+)
+
+// Spec identifies one scatter view: the x and y measure attributes.
+type Spec struct {
+	X, Y string
+}
+
+// String renders the spec, e.g. "SCATTER(points, assists)".
+func (s Spec) String() string { return fmt.Sprintf("SCATTER(%s, %s)", s.X, s.Y) }
+
+// Summary holds the second-order statistics of one measure pair over one
+// table: enough to reconstruct means, variances, Pearson correlation and
+// the least-squares slope of y on x.
+type Summary struct {
+	N            float64
+	MeanX, MeanY float64
+	VarX, VarY   float64
+	Corr         float64 // Pearson r; 0 when either variance is 0
+	Slope        float64 // cov(x,y)/var(x); 0 when var(x) is 0
+	MinX, MaxX   float64
+	MinY, MaxY   float64
+}
+
+// Summarize scans one table (all rows) and computes the pair summary.
+// Rows where either value is NULL are skipped.
+func Summarize(t *dataset.Table, x, y string) (Summary, error) {
+	cx, cy := t.Column(x), t.Column(y)
+	if cx == nil || cy == nil {
+		return Summary{}, fmt.Errorf("scatter: table %q lacks column %q or %q", t.Name, x, y)
+	}
+	var s Summary
+	s.MinX, s.MaxX = math.Inf(1), math.Inf(-1)
+	s.MinY, s.MaxY = math.Inf(1), math.Inf(-1)
+	var sumX, sumY, sumXX, sumYY, sumXY float64
+	for r := 0; r < t.NumRows(); r++ {
+		vx, okx := cx.Float(r)
+		vy, oky := cy.Float(r)
+		if !okx || !oky {
+			continue
+		}
+		s.N++
+		sumX += vx
+		sumY += vy
+		sumXX += vx * vx
+		sumYY += vy * vy
+		sumXY += vx * vy
+		s.MinX = math.Min(s.MinX, vx)
+		s.MaxX = math.Max(s.MaxX, vx)
+		s.MinY = math.Min(s.MinY, vy)
+		s.MaxY = math.Max(s.MaxY, vy)
+	}
+	if s.N == 0 {
+		return s, nil
+	}
+	s.MeanX = sumX / s.N
+	s.MeanY = sumY / s.N
+	s.VarX = sumXX/s.N - s.MeanX*s.MeanX
+	s.VarY = sumYY/s.N - s.MeanY*s.MeanY
+	if s.VarX < 0 {
+		s.VarX = 0
+	}
+	if s.VarY < 0 {
+		s.VarY = 0
+	}
+	cov := sumXY/s.N - s.MeanX*s.MeanY
+	if s.VarX > 1e-12 && s.VarY > 1e-12 {
+		s.Corr = cov / math.Sqrt(s.VarX*s.VarY)
+		// Clamp fp noise.
+		if s.Corr > 1 {
+			s.Corr = 1
+		}
+		if s.Corr < -1 {
+			s.Corr = -1
+		}
+	}
+	if s.VarX > 1e-12 {
+		s.Slope = cov / s.VarX
+	}
+	return s, nil
+}
+
+// Pair is one scatter view executed over the target subset and reference
+// dataset.
+type Pair struct {
+	Spec      Spec
+	Target    Summary
+	Reference Summary
+}
+
+// FeatureNames are the scatter utility components, in matrix column
+// order.
+var FeatureNames = []string{
+	"CORR_DIFF",    // |r_target − r_reference|
+	"CORR_TARGET",  // |r_target|: how structured the subset itself is
+	"SLOPE_DIFF",   // normalised slope change of y on x
+	"MEAN_SHIFT_X", // |Δmean(x)| in reference standard deviations
+	"MEAN_SHIFT_Y", // |Δmean(y)| in reference standard deviations
+	"SPREAD_RATIO", // how much tighter/looser the subset is overall
+}
+
+// Features computes the utility-feature vector of one pair.
+func Features(p *Pair) []float64 {
+	tgt, ref := p.Target, p.Reference
+	out := make([]float64, len(FeatureNames))
+	out[0] = math.Abs(tgt.Corr - ref.Corr)
+	out[1] = math.Abs(tgt.Corr)
+	slopeScale := math.Abs(ref.Slope)
+	if slopeScale < 1e-9 {
+		slopeScale = 1
+	}
+	out[2] = math.Tanh(math.Abs(tgt.Slope-ref.Slope) / slopeScale)
+	if ref.VarX > 1e-12 {
+		out[3] = math.Abs(tgt.MeanX-ref.MeanX) / math.Sqrt(ref.VarX)
+	}
+	if ref.VarY > 1e-12 {
+		out[4] = math.Abs(tgt.MeanY-ref.MeanY) / math.Sqrt(ref.VarY)
+	}
+	if ref.VarX > 1e-12 && ref.VarY > 1e-12 && tgt.N > 1 {
+		ratio := math.Sqrt((tgt.VarX + tgt.VarY) / (ref.VarX + ref.VarY))
+		out[5] = math.Abs(math.Log1p(ratio) - math.Log1p(1))
+	}
+	return out
+}
+
+// Enumerate lists every unordered measure pair of the table's schema.
+func Enumerate(t *dataset.Table) ([]Spec, error) {
+	measures := t.Schema.Measures()
+	if len(measures) < 2 {
+		return nil, fmt.Errorf("scatter: table %q needs at least two measures", t.Name)
+	}
+	var specs []Spec
+	for i := 0; i < len(measures); i++ {
+		for j := i + 1; j < len(measures); j++ {
+			specs = append(specs, Spec{X: measures[i], Y: measures[j]})
+		}
+	}
+	return specs, nil
+}
+
+// BuildMatrix executes the whole scatter view space and packages it as a
+// feature.Matrix so core.Seeker can drive a session over it. All rows are
+// exact (scatter summaries are single-pass and cheap, so there is no
+// α-sampling tier). The returned specs align with matrix row indices.
+func BuildMatrix(ref, tgt *dataset.Table) (*feature.Matrix, []Spec, error) {
+	specs, err := Enumerate(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &feature.Matrix{
+		Names: FeatureNames,
+		Rows:  make([][]float64, len(specs)),
+		Exact: make([]bool, len(specs)),
+	}
+	for i, s := range specs {
+		p, err := Execute(ref, tgt, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Rows[i] = Features(p)
+		m.Exact[i] = true
+		// Synthesised view.Spec keeps core's family bookkeeping meaningful:
+		// a scatter view is its own family.
+		m.Specs = append(m.Specs, view.Spec{Dimension: s.X, Measure: s.Y, Agg: "SCATTER"})
+	}
+	return m, specs, nil
+}
+
+// Execute runs one scatter view: both summaries.
+func Execute(ref, tgt *dataset.Table, s Spec) (*Pair, error) {
+	r, err := Summarize(ref, s.X, s.Y)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Summarize(tgt, s.X, s.Y)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Spec: s, Target: t, Reference: r}, nil
+}
+
+// Render draws the pair as two side-by-side ASCII density grids (target
+// left, reference right) over the reference's axis ranges.
+func (p *Pair) Render(ref, tgt *dataset.Table, width, height int) (string, error) {
+	if width <= 0 {
+		width = 24
+	}
+	if height <= 0 {
+		height = 10
+	}
+	grid := func(t *dataset.Table) ([][]int, int, error) {
+		cx, cy := t.Column(p.Spec.X), t.Column(p.Spec.Y)
+		if cx == nil || cy == nil {
+			return nil, 0, fmt.Errorf("scatter: table %q lacks %s/%s", t.Name, p.Spec.X, p.Spec.Y)
+		}
+		g := make([][]int, height)
+		for i := range g {
+			g[i] = make([]int, width)
+		}
+		maxCell := 0
+		spanX := p.Reference.MaxX - p.Reference.MinX
+		spanY := p.Reference.MaxY - p.Reference.MinY
+		if spanX <= 0 {
+			spanX = 1
+		}
+		if spanY <= 0 {
+			spanY = 1
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			vx, okx := cx.Float(r)
+			vy, oky := cy.Float(r)
+			if !okx || !oky {
+				continue
+			}
+			i := int((p.Reference.MaxY - vy) / spanY * float64(height-1))
+			j := int((vx - p.Reference.MinX) / spanX * float64(width-1))
+			if i < 0 || i >= height || j < 0 || j >= width {
+				continue
+			}
+			g[i][j]++
+			if g[i][j] > maxCell {
+				maxCell = g[i][j]
+			}
+		}
+		return g, maxCell, nil
+	}
+	tg, tMax, err := grid(tgt)
+	if err != nil {
+		return "", err
+	}
+	rg, rMax, err := grid(ref)
+	if err != nil {
+		return "", err
+	}
+	shades := []byte(" .:*#@")
+	cell := func(v, max int) byte {
+		if v == 0 || max == 0 {
+			return ' '
+		}
+		idx := 1 + v*(len(shades)-2)/max
+		if idx >= len(shades) {
+			idx = len(shades) - 1
+		}
+		return shades[idx]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — target (DQ) | reference (DR), y=%s up, x=%s right\n", p.Spec, p.Spec.Y, p.Spec.X)
+	for i := 0; i < height; i++ {
+		for j := 0; j < width; j++ {
+			sb.WriteByte(cell(tg[i][j], tMax))
+		}
+		sb.WriteString(" | ")
+		for j := 0; j < width; j++ {
+			sb.WriteByte(cell(rg[i][j], rMax))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "target r=%.2f  reference r=%.2f\n", p.Target.Corr, p.Reference.Corr)
+	return sb.String(), nil
+}

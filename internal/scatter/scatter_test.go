@@ -1,0 +1,249 @@
+package scatter
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"viewseeker/internal/core"
+	"viewseeker/internal/dataset"
+)
+
+// corrTable builds a table whose subset rows correlate m1–m2 strongly
+// while the rest are independent.
+func corrTable(t *testing.T, rows int, seed int64) (ref, tgt *dataset.Table) {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "grp", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m1", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "m2", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "m3", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	ref = dataset.NewTable("ref", schema)
+	rng := rand.New(rand.NewSource(seed))
+	var sel []int
+	for i := 0; i < rows; i++ {
+		inSubset := i%10 == 0
+		x := rng.NormFloat64()
+		y := rng.NormFloat64()
+		if inSubset {
+			y = x*2 + rng.NormFloat64()*0.1 // strong linear relation
+		}
+		grp := "rest"
+		if inSubset {
+			grp = "special"
+			sel = append(sel, i)
+		}
+		ref.MustAppendRow(dataset.StringVal(grp), dataset.Float(x), dataset.Float(y), dataset.Float(rng.NormFloat64()))
+	}
+	return ref, ref.Subset("tgt", sel)
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "x", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "y", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	tab := dataset.NewTable("t", schema)
+	// y = 3x exactly.
+	for _, x := range []float64{1, 2, 3, 4} {
+		tab.MustAppendRow(dataset.Float(x), dataset.Float(3*x))
+	}
+	s, err := Summarize(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.MeanX != 2.5 || s.MeanY != 7.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Corr-1) > 1e-12 {
+		t.Errorf("corr = %v, want 1", s.Corr)
+	}
+	if math.Abs(s.Slope-3) > 1e-12 {
+		t.Errorf("slope = %v, want 3", s.Slope)
+	}
+	if s.MinX != 1 || s.MaxX != 4 || s.MinY != 3 || s.MaxY != 12 {
+		t.Errorf("ranges wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "x", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "y", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	tab := dataset.NewTable("t", schema)
+	for i := 0; i < 3; i++ {
+		tab.MustAppendRow(dataset.Float(5), dataset.Float(float64(i)))
+	}
+	s, err := Summarize(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Corr != 0 || s.Slope != 0 {
+		t.Errorf("constant x must give corr=slope=0: %+v", s)
+	}
+	// Empty table.
+	empty := dataset.NewTable("e", tab.Schema)
+	s, err = Summarize(empty, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 0 {
+		t.Errorf("empty N = %v", s.N)
+	}
+	if _, err := Summarize(tab, "x", "nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestSummarizeSkipsNulls(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "x", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "y", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	tab := dataset.NewTable("t", schema)
+	tab.MustAppendRow(dataset.Float(1), dataset.Float(2))
+	tab.MustAppendRow(dataset.Null, dataset.Float(100))
+	tab.MustAppendRow(dataset.Float(3), dataset.Null)
+	s, err := Summarize(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 {
+		t.Errorf("N = %v, want 1 (null rows skipped)", s.N)
+	}
+}
+
+func TestCorrBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := dataset.MustSchema(
+			dataset.ColumnDef{Name: "x", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+			dataset.ColumnDef{Name: "y", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		)
+		tab := dataset.NewTable("t", schema)
+		for i := 0; i < 30; i++ {
+			tab.MustAppendRow(dataset.Float(rng.NormFloat64()), dataset.Float(rng.NormFloat64()))
+		}
+		s, err := Summarize(tab, "x", "y")
+		if err != nil {
+			return false
+		}
+		return s.Corr >= -1 && s.Corr <= 1 && s.VarX >= 0 && s.VarY >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	ref, _ := corrTable(t, 100, 1)
+	specs, err := Enumerate(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 { // C(3,2)
+		t.Fatalf("specs = %d, want 3", len(specs))
+	}
+	// One-measure table fails.
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "m", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	if _, err := Enumerate(dataset.NewTable("t", schema)); err == nil {
+		t.Error("needs ≥2 measures")
+	}
+}
+
+func TestFeaturesDetectCorrelationShift(t *testing.T) {
+	ref, tgt := corrTable(t, 3000, 2)
+	pCorr, err := Execute(ref, tgt, Spec{X: "m1", Y: "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNoise, err := Execute(ref, tgt, Spec{X: "m1", Y: "m3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fCorr, fNoise := Features(pCorr), Features(pNoise)
+	if fCorr[0] <= fNoise[0] {
+		t.Errorf("CORR_DIFF should be larger for the correlated pair: %v vs %v", fCorr[0], fNoise[0])
+	}
+	if pCorr.Target.Corr < 0.9 {
+		t.Errorf("target corr = %v, want ~1", pCorr.Target.Corr)
+	}
+	if math.Abs(pCorr.Reference.Corr) > 0.4 {
+		t.Errorf("reference corr = %v, want small", pCorr.Reference.Corr)
+	}
+}
+
+func TestBuildMatrixAndSession(t *testing.T) {
+	// End-to-end: the active-learning core drives a scatter session and a
+	// correlation-hunting user gets the m1–m2 view recommended first.
+	ref, tgt := corrTable(t, 3000, 3)
+	m, specs, err := BuildMatrix(ref, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 || len(specs) != 3 {
+		t.Fatalf("matrix len = %d", m.Len())
+	}
+	if !m.AllExact() {
+		t.Error("scatter matrix must be exact")
+	}
+	seeker, err := core.NewSeeker(m, core.Config{K: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrDiffIdx := 0
+	for i := 0; i < 3; i++ {
+		next, err := seeker.NextViews()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next) == 0 {
+			break
+		}
+		label := m.Rows[next[0]][corrDiffIdx]
+		if label > 1 {
+			label = 1
+		}
+		if err := seeker.Feedback(next[0], label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := seeker.TopK()[0]
+	if specs[best].X != "m1" || specs[best].Y != "m2" {
+		t.Errorf("top scatter view = %v, want m1–m2", specs[best])
+	}
+}
+
+func TestRender(t *testing.T) {
+	ref, tgt := corrTable(t, 500, 4)
+	p, err := Execute(ref, tgt, Spec{X: "m1", Y: "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render(ref, tgt, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 10 { // header + 8 grid rows + footer
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "target r=") {
+		t.Error("render missing correlation footer")
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("render missing separator")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (Spec{X: "a", Y: "b"}).String(); got != "SCATTER(a, b)" {
+		t.Errorf("String = %q", got)
+	}
+}

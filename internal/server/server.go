@@ -1,0 +1,286 @@
+// Package server exposes ViewSeeker over HTTP: a small JSON API plus an
+// embedded single-page UI, turning the library into the interactive tool
+// the paper describes — the analyst sees one view at a time as an SVG
+// chart, rates it, and watches the top-k recommendations sharpen.
+package server
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"viewseeker"
+)
+
+//go:embed index.html
+var indexHTML []byte
+
+// Server hosts tables and interactive sessions. All methods are safe for
+// concurrent use; individual sessions serialise their own operations.
+type Server struct {
+	mu       sync.Mutex
+	tables   map[string]*viewseeker.Table
+	sessions map[string]*session
+	nextID   int
+}
+
+type session struct {
+	mu     sync.Mutex
+	seeker *viewseeker.Seeker
+	table  string
+	query  string
+}
+
+// New builds a server hosting the given tables.
+func New(tables ...*viewseeker.Table) *Server {
+	s := &Server{
+		tables:   make(map[string]*viewseeker.Table),
+		sessions: make(map[string]*session),
+	}
+	for _, t := range tables {
+		s.tables[t.Name] = t
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the UI and the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(indexHTML)
+	})
+	mux.HandleFunc("GET /api/tables", s.handleTables)
+	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
+	mux.HandleFunc("GET /api/sessions/{id}/next", s.withSession(s.handleNext))
+	mux.HandleFunc("POST /api/sessions/{id}/feedback", s.withSession(s.handleFeedback))
+	mux.HandleFunc("GET /api/sessions/{id}/top", s.withSession(s.handleTop))
+	mux.HandleFunc("GET /api/sessions/{id}/weights", s.withSession(s.handleWeights))
+	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/svg", s.withSession(s.handleViewSVG))
+	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/explain", s.withSession(s.handleViewExplain))
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// tableInfo describes one hosted table.
+type tableInfo struct {
+	Name       string   `json:"name"`
+	Rows       int      `json:"rows"`
+	Dimensions []string `json:"dimensions"`
+	Measures   []string `json:"measures"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]tableInfo, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, tableInfo{
+			Name: t.Name, Rows: t.NumRows(),
+			Dimensions: t.Schema.Dimensions(), Measures: t.Schema.Measures(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createSessionRequest is the POST /api/sessions body.
+type createSessionRequest struct {
+	Table    string  `json:"table"`
+	Query    string  `json:"query"`
+	K        int     `json:"k"`
+	Alpha    float64 `json:"alpha"`
+	Strategy string  `json:"strategy"`
+	Seed     int64   `json:"seed"`
+}
+
+type sessionInfo struct {
+	ID         string `json:"id"`
+	Table      string `json:"table"`
+	Query      string `json:"query"`
+	NumViews   int    `json:"numViews"`
+	NumLabels  int    `json:"numLabels"`
+	TargetRows int    `json:"targetRows"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	table := s.tables[req.Table]
+	s.mu.Unlock()
+	if table == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
+		return
+	}
+	seeker, err := viewseeker.New(table, req.Query, viewseeker.Options{
+		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	sess := &session{seeker: seeker, table: req.Table, query: req.Query}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.infoOf(id, sess))
+}
+
+func (s *Server) infoOf(id string, sess *session) sessionInfo {
+	return sessionInfo{
+		ID: id, Table: sess.table, Query: sess.query,
+		NumViews: sess.seeker.NumViews(), NumLabels: sess.seeker.NumLabels(),
+		TargetRows: sess.seeker.Target().NumRows(),
+	}
+}
+
+// withSession resolves the {id} path segment and locks the session for
+// the duration of the handler.
+func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, id string, sess *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		sess := s.sessions[id]
+		s.mu.Unlock()
+		if sess == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+			return
+		}
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		h(w, r, id, sess)
+	}
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	writeJSON(w, http.StatusOK, s.infoOf(id, sess))
+}
+
+// viewJSON is one view in API responses.
+type viewJSON struct {
+	Index int     `json:"index"`
+	Spec  string  `json:"spec"`
+	Score float64 `json:"score"`
+	SQL   string  `json:"sql,omitempty"`
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	v, err := sess.seeker.Next()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score})
+}
+
+// feedbackRequest is the POST feedback body.
+type feedbackRequest struct {
+	Index int     `json:"index"`
+	Label float64 `json:"label"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := sess.seeker.Feedback(req.Index, req.Label); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.topOf(sess))
+}
+
+type topResponse struct {
+	NumLabels int        `json:"numLabels"`
+	Top       []viewJSON `json:"top"`
+}
+
+func (s *Server) topOf(sess *session) topResponse {
+	resp := topResponse{NumLabels: sess.seeker.NumLabels()}
+	for _, v := range sess.seeker.TopK() {
+		vj := viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score}
+		if query, err := sess.seeker.SQL(v.Index); err == nil {
+			vj.SQL = query
+		}
+		resp.Top = append(resp.Top, vj)
+	}
+	return resp
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	writeJSON(w, http.StatusOK, s.topOf(sess))
+}
+
+func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	weights, intercept := sess.seeker.Weights()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"features":  sess.seeker.FeatureNames(),
+		"weights":   weights,
+		"intercept": intercept,
+	})
+}
+
+func (s *Server) handleViewSVG(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid view index %q", r.PathValue("index")))
+		return
+	}
+	p, err := sess.seeker.Pair(idx)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, p.RenderSVG(640, 320))
+}
+
+func (s *Server) handleViewExplain(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid view index %q", r.PathValue("index")))
+		return
+	}
+	text, err := sess.seeker.Explain(idx, 3)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explanation": text})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,603 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"viewseeker/internal/dataset"
+)
+
+// getter produces the value of a compiled expression for one row (or one
+// group, in aggregate output contexts).
+type getter func(row int) (dataset.Value, error)
+
+// compiler turns an Expr tree into a getter. bindNode is consulted first at
+// every node; it lets contexts intercept column references, aggregate calls
+// and whole sub-expressions (GROUP BY matching) before structural
+// compilation proceeds.
+type compiler struct {
+	bindNode func(e Expr) (getter, bool, error)
+}
+
+func (c *compiler) compile(e Expr) (getter, error) {
+	if c.bindNode != nil {
+		g, ok, err := c.bindNode(e)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Val
+		return func(int) (dataset.Value, error) { return v, nil }, nil
+	case *ColumnRef:
+		return nil, fmt.Errorf("sql: unknown column %q", x.Name)
+	case *Unary:
+		return c.compileUnary(x)
+	case *Binary:
+		return c.compileBinary(x)
+	case *Call:
+		return c.compileCall(x)
+	case *InList:
+		return c.compileIn(x)
+	case *Between:
+		return c.compileBetween(x)
+	case *IsNull:
+		xg, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		neg := x.Neg
+		return func(row int) (dataset.Value, error) {
+			v, err := xg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			return dataset.Bool(v.IsNull() != neg), nil
+		}, nil
+	case *Like:
+		return c.compileLike(x)
+	case *Case:
+		return c.compileCase(x)
+	default:
+		return nil, fmt.Errorf("sql: cannot compile %T", e)
+	}
+}
+
+func (c *compiler) compileCase(x *Case) (getter, error) {
+	type arm struct{ cond, result getter }
+	arms := make([]arm, len(x.Whens))
+	for i, w := range x.Whens {
+		cg, err := c.compile(w.Cond)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := c.compile(w.Result)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{cg, rg}
+	}
+	var elseG getter
+	if x.Else != nil {
+		g, err := c.compile(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		elseG = g
+	}
+	return func(row int) (dataset.Value, error) {
+		for _, a := range arms {
+			v, err := a.cond(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			if v.Kind == dataset.KindBool && v.B {
+				return a.result(row)
+			}
+			if !v.IsNull() && v.Kind != dataset.KindBool {
+				return dataset.Null, fmt.Errorf("sql: CASE condition evaluated to %s", v.Kind)
+			}
+		}
+		if elseG != nil {
+			return elseG(row)
+		}
+		return dataset.Null, nil
+	}, nil
+}
+
+func (c *compiler) compileUnary(x *Unary) (getter, error) {
+	xg, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		return func(row int) (dataset.Value, error) {
+			v, err := xg(row)
+			if err != nil || v.IsNull() {
+				return dataset.Null, err
+			}
+			switch v.Kind {
+			case dataset.KindInt:
+				return dataset.Int(-v.I), nil
+			case dataset.KindFloat:
+				return dataset.Float(-v.F), nil
+			default:
+				return dataset.Null, fmt.Errorf("sql: cannot negate %s", v.Kind)
+			}
+		}, nil
+	case "NOT":
+		return func(row int) (dataset.Value, error) {
+			v, err := xg(row)
+			if err != nil || v.IsNull() {
+				return dataset.Null, err
+			}
+			if v.Kind != dataset.KindBool {
+				return dataset.Null, fmt.Errorf("sql: NOT applied to %s", v.Kind)
+			}
+			return dataset.Bool(!v.B), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+	}
+}
+
+func (c *compiler) compileBinary(x *Binary) (getter, error) {
+	lg, err := c.compile(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := c.compile(x.R)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case "AND", "OR":
+		isAnd := op == "AND"
+		return func(row int) (dataset.Value, error) {
+			l, err := lg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			// Three-valued logic with short-circuiting on the determining
+			// operand.
+			if l.Kind == dataset.KindBool {
+				if isAnd && !l.B {
+					return dataset.Bool(false), nil
+				}
+				if !isAnd && l.B {
+					return dataset.Bool(true), nil
+				}
+			} else if !l.IsNull() {
+				return dataset.Null, fmt.Errorf("sql: %s applied to %s", op, l.Kind)
+			}
+			r, err := rg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			if r.Kind == dataset.KindBool {
+				if isAnd && !r.B {
+					return dataset.Bool(false), nil
+				}
+				if !isAnd && r.B {
+					return dataset.Bool(true), nil
+				}
+			} else if !r.IsNull() {
+				return dataset.Null, fmt.Errorf("sql: %s applied to %s", op, r.Kind)
+			}
+			if l.IsNull() || r.IsNull() {
+				return dataset.Null, nil
+			}
+			// Neither operand decided the result: AND of two trues, or OR
+			// of two falses.
+			return dataset.Bool(isAnd), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(row int) (dataset.Value, error) {
+			l, err := lg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			r, err := rg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return dataset.Null, nil
+			}
+			if err := comparableKinds(l, r); err != nil {
+				return dataset.Null, err
+			}
+			cmp := dataset.Compare(l, r)
+			var b bool
+			switch op {
+			case "=":
+				b = cmp == 0
+			case "!=":
+				b = cmp != 0
+			case "<":
+				b = cmp < 0
+			case "<=":
+				b = cmp <= 0
+			case ">":
+				b = cmp > 0
+			case ">=":
+				b = cmp >= 0
+			}
+			return dataset.Bool(b), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		return func(row int) (dataset.Value, error) {
+			l, err := lg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			r, err := rg(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return dataset.Null, nil
+			}
+			return arith(op, l, r)
+		}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}
+
+func comparableKinds(l, r dataset.Value) error {
+	lNum := l.Kind == dataset.KindInt || l.Kind == dataset.KindFloat || l.Kind == dataset.KindBool
+	rNum := r.Kind == dataset.KindInt || r.Kind == dataset.KindFloat || r.Kind == dataset.KindBool
+	if lNum != rNum {
+		return fmt.Errorf("sql: cannot compare %s with %s", l.Kind, r.Kind)
+	}
+	return nil
+}
+
+func arith(op string, l, r dataset.Value) (dataset.Value, error) {
+	if l.Kind == dataset.KindInt && r.Kind == dataset.KindInt {
+		switch op {
+		case "+":
+			return dataset.Int(l.I + r.I), nil
+		case "-":
+			return dataset.Int(l.I - r.I), nil
+		case "*":
+			return dataset.Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return dataset.Null, fmt.Errorf("sql: division by zero")
+			}
+			return dataset.Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return dataset.Null, fmt.Errorf("sql: modulo by zero")
+			}
+			return dataset.Int(l.I % r.I), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return dataset.Null, fmt.Errorf("sql: arithmetic on %s and %s", l.Kind, r.Kind)
+	}
+	switch op {
+	case "+":
+		return dataset.Float(lf + rf), nil
+	case "-":
+		return dataset.Float(lf - rf), nil
+	case "*":
+		return dataset.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return dataset.Null, fmt.Errorf("sql: division by zero")
+		}
+		return dataset.Float(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return dataset.Null, fmt.Errorf("sql: modulo by zero")
+		}
+		return dataset.Float(math.Mod(lf, rf)), nil
+	}
+	return dataset.Null, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+}
+
+func (c *compiler) compileCall(x *Call) (getter, error) {
+	if aggregateFuncs[x.Func] {
+		return nil, fmt.Errorf("sql: aggregate %s not allowed in this context", x.Func)
+	}
+	args := make([]getter, len(x.Args))
+	for i, a := range x.Args {
+		g, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = g
+	}
+	fn, ok := scalarFuncs[x.Func]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown function %s", x.Func)
+	}
+	if fn.arity >= 0 && len(args) != fn.arity {
+		return nil, fmt.Errorf("sql: %s expects %d arguments, got %d", x.Func, fn.arity, len(args))
+	}
+	impl := fn.impl
+	return func(row int) (dataset.Value, error) {
+		vals := make([]dataset.Value, len(args))
+		for i, g := range args {
+			v, err := g(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			vals[i] = v
+		}
+		return impl(vals)
+	}, nil
+}
+
+type scalarFunc struct {
+	arity int // -1 for variadic
+	impl  func(args []dataset.Value) (dataset.Value, error)
+}
+
+func numericUnary(name string, f func(float64) float64) scalarFunc {
+	return scalarFunc{arity: 1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		x, ok := args[0].AsFloat()
+		if !ok {
+			return dataset.Null, fmt.Errorf("sql: %s expects a numeric argument, got %s", name, args[0].Kind)
+		}
+		return dataset.Float(f(x)), nil
+	}}
+}
+
+var scalarFuncs = map[string]scalarFunc{
+	"ABS":   numericUnary("ABS", math.Abs),
+	"SQRT":  numericUnary("SQRT", math.Sqrt),
+	"FLOOR": numericUnary("FLOOR", math.Floor),
+	"CEIL":  numericUnary("CEIL", math.Ceil),
+	"ROUND": numericUnary("ROUND", math.Round),
+	"LN":    numericUnary("LN", math.Log),
+	"EXP":   numericUnary("EXP", math.Exp),
+	"POWER": {arity: 2, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() || args[1].IsNull() {
+			return dataset.Null, nil
+		}
+		base, ok1 := args[0].AsFloat()
+		exp, ok2 := args[1].AsFloat()
+		if !ok1 || !ok2 {
+			return dataset.Null, fmt.Errorf("sql: POWER expects numeric arguments")
+		}
+		return dataset.Float(math.Pow(base, exp)), nil
+	}},
+	"CONCAT": {arity: -1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				continue // SQL CONCAT skips NULLs
+			}
+			sb.WriteString(a.String())
+		}
+		return dataset.StringVal(sb.String()), nil
+	}},
+	// SUBSTR(s, start, length) with 1-based start, clamped to the string.
+	"SUBSTR": {arity: 3, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		s := args[0].String()
+		start, ok1 := args[1].AsInt()
+		length, ok2 := args[2].AsInt()
+		if !ok1 || !ok2 {
+			return dataset.Null, fmt.Errorf("sql: SUBSTR expects integer start and length")
+		}
+		if start < 1 {
+			start = 1
+		}
+		from := int(start) - 1
+		if from >= len(s) || length <= 0 {
+			return dataset.StringVal(""), nil
+		}
+		to := from + int(length)
+		if to > len(s) {
+			to = len(s)
+		}
+		return dataset.StringVal(s[from:to]), nil
+	}},
+	"LOWER": {arity: 1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		return dataset.StringVal(strings.ToLower(args[0].String())), nil
+	}},
+	"UPPER": {arity: 1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		return dataset.StringVal(strings.ToUpper(args[0].String())), nil
+	}},
+	"LENGTH": {arity: 1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		return dataset.Int(int64(len(args[0].String()))), nil
+	}},
+	// WIDTH_BUCKET(x, lo, hi, n) follows PostgreSQL: bucket 0 below lo,
+	// n+1 at or above hi, else 1..n equal-width buckets.
+	"WIDTH_BUCKET": {arity: 4, impl: func(args []dataset.Value) (dataset.Value, error) {
+		if args[0].IsNull() {
+			return dataset.Null, nil
+		}
+		x, ok0 := args[0].AsFloat()
+		lo, ok1 := args[1].AsFloat()
+		hi, ok2 := args[2].AsFloat()
+		n, ok3 := args[3].AsInt()
+		if !ok0 || !ok1 || !ok2 || !ok3 {
+			return dataset.Null, fmt.Errorf("sql: WIDTH_BUCKET expects numeric arguments")
+		}
+		if n <= 0 || hi <= lo {
+			return dataset.Null, fmt.Errorf("sql: WIDTH_BUCKET needs n > 0 and hi > lo")
+		}
+		switch {
+		case x < lo:
+			return dataset.Int(0), nil
+		case x >= hi:
+			return dataset.Int(n + 1), nil
+		default:
+			return dataset.Int(int64((x-lo)/(hi-lo)*float64(n)) + 1), nil
+		}
+	}},
+	"COALESCE": {arity: -1, impl: func(args []dataset.Value) (dataset.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return dataset.Null, nil
+	}},
+}
+
+func (c *compiler) compileIn(x *InList) (getter, error) {
+	xg, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]getter, len(x.List))
+	for i, e := range x.List {
+		g, err := c.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = g
+	}
+	neg := x.Neg
+	return func(row int) (dataset.Value, error) {
+		v, err := xg(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		if v.IsNull() {
+			return dataset.Null, nil
+		}
+		sawNull := false
+		for _, g := range list {
+			e, err := g(row)
+			if err != nil {
+				return dataset.Null, err
+			}
+			if e.IsNull() {
+				sawNull = true
+				continue
+			}
+			if comparableKinds(v, e) == nil && dataset.Compare(v, e) == 0 {
+				return dataset.Bool(!neg), nil
+			}
+		}
+		if sawNull {
+			return dataset.Null, nil
+		}
+		return dataset.Bool(neg), nil
+	}, nil
+}
+
+func (c *compiler) compileBetween(x *Between) (getter, error) {
+	xg, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	log, err := c.compile(x.Lo)
+	if err != nil {
+		return nil, err
+	}
+	hig, err := c.compile(x.Hi)
+	if err != nil {
+		return nil, err
+	}
+	neg := x.Neg
+	return func(row int) (dataset.Value, error) {
+		v, err := xg(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		lo, err := log(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		hi, err := hig(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return dataset.Null, nil
+		}
+		if err := comparableKinds(v, lo); err != nil {
+			return dataset.Null, err
+		}
+		if err := comparableKinds(v, hi); err != nil {
+			return dataset.Null, err
+		}
+		in := dataset.Compare(v, lo) >= 0 && dataset.Compare(v, hi) <= 0
+		return dataset.Bool(in != neg), nil
+	}, nil
+}
+
+func (c *compiler) compileLike(x *Like) (getter, error) {
+	xg, err := c.compile(x.X)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := c.compile(x.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	neg := x.Neg
+	return func(row int) (dataset.Value, error) {
+		v, err := xg(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		p, err := pg(row)
+		if err != nil {
+			return dataset.Null, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return dataset.Null, nil
+		}
+		return dataset.Bool(likeMatch(v.String(), p.String()) != neg), nil
+	}, nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one byte).
+func likeMatch(s, pattern string) bool {
+	// Iterative two-pointer match with backtracking on the last %.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		if pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]) {
+			si++
+			pi++
+		} else if pi < len(pattern) && pattern[pi] == '%' {
+			star = pi
+			match = si
+			pi++
+		} else if star >= 0 {
+			pi = star + 1
+			match++
+			si = match
+		} else {
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,794 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"viewseeker/internal/dataset"
+)
+
+// Execute runs a parsed statement against a table. The table may be nil
+// only for table-less statements (no FROM clause). The result is a new
+// table named "result".
+func Execute(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
+	if stmt.From != "" && table == nil {
+		return nil, fmt.Errorf("sql: statement references table %q but none was supplied", stmt.From)
+	}
+	isAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && ContainsAggregate(it.Expr) {
+			isAgg = true
+		}
+	}
+	if stmt.Having != nil {
+		isAgg = true
+	}
+	if isAgg {
+		return executeAggregate(stmt, table)
+	}
+	return executePlain(stmt, table)
+}
+
+// outputRow pairs projected values with hidden sort keys.
+type outputRow struct {
+	vals []dataset.Value
+	keys []dataset.Value
+}
+
+func tableBinder(table *dataset.Table) func(e Expr) (getter, bool, error) {
+	return func(e Expr) (getter, bool, error) {
+		ref, ok := e.(*ColumnRef)
+		if !ok {
+			return nil, false, nil
+		}
+		if table == nil {
+			return nil, false, fmt.Errorf("sql: column %q referenced without a FROM clause", ref.Name)
+		}
+		col := table.Column(ref.Name)
+		if col == nil {
+			return nil, false, fmt.Errorf("sql: unknown column %q in table %q", ref.Name, table.Name)
+		}
+		return func(row int) (dataset.Value, error) { return col.Value(row), nil }, true, nil
+	}
+}
+
+func executePlain(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
+	comp := &compiler{bindNode: tableBinder(table)}
+
+	// Expand projections; remember source roles for pass-through columns.
+	var names []string
+	var getters []getter
+	var roles []dataset.Role
+	for _, it := range stmt.Items {
+		if it.Star {
+			if table == nil {
+				return nil, fmt.Errorf("sql: SELECT * without a FROM clause")
+			}
+			for _, col := range table.Cols {
+				c := col
+				names = append(names, c.Def.Name)
+				roles = append(roles, c.Def.Role)
+				getters = append(getters, func(row int) (dataset.Value, error) { return c.Value(row), nil })
+			}
+			continue
+		}
+		g, err := comp.compile(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, it.OutputName())
+		role := dataset.RoleOther
+		if ref, ok := it.Expr.(*ColumnRef); ok && table != nil {
+			if def, found := table.Schema.Def(ref.Name); found {
+				role = def.Role
+			}
+		}
+		roles = append(roles, role)
+		getters = append(getters, g)
+	}
+
+	var whereG getter
+	if stmt.Where != nil {
+		g, err := comp.compile(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		whereG = g
+	}
+	orderGetters, err := bindOrderBy(stmt, comp, names)
+	if err != nil {
+		return nil, err
+	}
+
+	nRows := 1 // table-less SELECT evaluates once
+	if table != nil {
+		nRows = table.NumRows()
+	}
+	var rows []outputRow
+	for r := 0; r < nRows; r++ {
+		if whereG != nil {
+			v, err := whereG(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != dataset.KindBool || !v.B {
+				continue
+			}
+		}
+		out := outputRow{vals: make([]dataset.Value, len(getters))}
+		for i, g := range getters {
+			v, err := g(r)
+			if err != nil {
+				return nil, err
+			}
+			out.vals[i] = v
+		}
+		for _, og := range orderGetters {
+			v, err := og.get(r, out.vals)
+			if err != nil {
+				return nil, err
+			}
+			out.keys = append(out.keys, v)
+		}
+		rows = append(rows, out)
+	}
+	return finishRows(stmt, names, roles, rows)
+}
+
+// orderGetter evaluates one ORDER BY key either from the row context or
+// from the already-projected output values (alias / position references).
+type orderGetter struct {
+	get  func(row int, out []dataset.Value) (dataset.Value, error)
+	desc bool
+}
+
+func bindOrderBy(stmt *SelectStmt, comp *compiler, outputNames []string) ([]orderGetter, error) {
+	var out []orderGetter
+	for _, o := range stmt.OrderBy {
+		og := orderGetter{desc: o.Desc}
+		switch e := o.Expr.(type) {
+		case *Literal:
+			if idx, ok := e.Val.AsInt(); ok && e.Val.Kind == dataset.KindInt {
+				if idx < 1 || int(idx) > len(outputNames) {
+					return nil, fmt.Errorf("sql: ORDER BY position %d out of range", idx)
+				}
+				i := int(idx) - 1
+				og.get = func(_ int, outVals []dataset.Value) (dataset.Value, error) { return outVals[i], nil }
+				out = append(out, og)
+				continue
+			}
+		case *ColumnRef:
+			if i := indexOf(outputNames, e.Name); i >= 0 {
+				og.get = func(_ int, outVals []dataset.Value) (dataset.Value, error) { return outVals[i], nil }
+				out = append(out, og)
+				continue
+			}
+		}
+		g, err := comp.compile(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		og.get = func(row int, _ []dataset.Value) (dataset.Value, error) { return g(row) }
+		out = append(out, og)
+	}
+	return out, nil
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// finishRows applies DISTINCT, ORDER BY, LIMIT and materialises the result
+// table.
+func finishRows(stmt *SelectStmt, names []string, roles []dataset.Role, rows []outputRow) (*dataset.Table, error) {
+	if stmt.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			key := rowKey(r.vals)
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if len(stmt.OrderBy) > 0 {
+		descs := make([]bool, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			descs[i] = o.Desc
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range descs {
+				c := dataset.Compare(rows[i].keys[k], rows[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if descs[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
+		rows = rows[:stmt.Limit]
+	}
+
+	// Infer output kinds from the first non-null value per column.
+	kinds := make([]dataset.Kind, len(names))
+	for j := range kinds {
+		kinds[j] = dataset.KindString
+		for _, r := range rows {
+			if !r.vals[j].IsNull() {
+				kinds[j] = r.vals[j].Kind
+				break
+			}
+		}
+	}
+	defs := make([]dataset.ColumnDef, len(names))
+	used := make(map[string]int)
+	for j, n := range names {
+		// Disambiguate duplicate output names (e.g. SELECT a, a).
+		if c := used[n]; c > 0 {
+			n = n + "_" + strconv.Itoa(c)
+		}
+		used[names[j]]++
+		defs[j] = dataset.ColumnDef{Name: n, Kind: kinds[j], Role: roles[j]}
+	}
+	schema, err := dataset.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	res := dataset.NewTable("result", schema)
+	for _, r := range rows {
+		if err := res.AppendRow(r.vals...); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func rowKey(vals []dataset.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteByte(byte(v.Kind) + '0')
+		s := v.String()
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// aggAccumulator accumulates one aggregate call for one group.
+type aggAccumulator struct {
+	fn      string
+	count   int64
+	sum     float64
+	sumSq   float64
+	allInts bool
+	min     dataset.Value
+	max     dataset.Value
+}
+
+func newAccumulator(fn string) *aggAccumulator {
+	return &aggAccumulator{fn: fn, allInts: true, min: dataset.Null, max: dataset.Null}
+}
+
+func (a *aggAccumulator) add(v dataset.Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	a.count++
+	switch a.fn {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG", "VARIANCE", "STDDEV":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("sql: %s over non-numeric value %s", a.fn, v.Kind)
+		}
+		if v.Kind != dataset.KindInt {
+			a.allInts = false
+		}
+		a.sum += f
+		a.sumSq += f * f
+		return nil
+	case "MIN":
+		if a.min.IsNull() || dataset.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+		return nil
+	case "MAX":
+		if a.max.IsNull() || dataset.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("sql: unknown aggregate %s", a.fn)
+	}
+}
+
+func (a *aggAccumulator) result() dataset.Value {
+	switch a.fn {
+	case "COUNT":
+		return dataset.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return dataset.Null
+		}
+		if a.allInts {
+			return dataset.Int(int64(a.sum))
+		}
+		return dataset.Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return dataset.Null
+		}
+		return dataset.Float(a.sum / float64(a.count))
+	case "VARIANCE", "STDDEV":
+		if a.count == 0 {
+			return dataset.Null
+		}
+		n := float64(a.count)
+		v := a.sumSq/n - (a.sum/n)*(a.sum/n)
+		if v < 0 {
+			v = 0 // fp noise on constant columns
+		}
+		if a.fn == "STDDEV" {
+			v = math.Sqrt(v)
+		}
+		return dataset.Float(v)
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return dataset.Null
+	}
+}
+
+// aggSlot is one distinct aggregate call in the statement.
+type aggSlot struct {
+	call *Call
+	arg  getter // nil for COUNT(*)
+}
+
+// collectAggregates walks an expression and registers every aggregate call
+// in slots (deduplicated by canonical string).
+func collectAggregates(e Expr, comp *compiler, slots map[string]*aggSlot) error {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Literal, *ColumnRef:
+		return nil
+	case *Unary:
+		return collectAggregates(x.X, comp, slots)
+	case *Binary:
+		if err := collectAggregates(x.L, comp, slots); err != nil {
+			return err
+		}
+		return collectAggregates(x.R, comp, slots)
+	case *Call:
+		if aggregateFuncs[x.Func] {
+			key := x.String()
+			if _, ok := slots[key]; ok {
+				return nil
+			}
+			slot := &aggSlot{call: x}
+			if !x.Star {
+				if len(x.Args) != 1 {
+					return fmt.Errorf("sql: %s expects one argument", x.Func)
+				}
+				if ContainsAggregate(x.Args[0]) {
+					return fmt.Errorf("sql: nested aggregate in %s", key)
+				}
+				g, err := comp.compile(x.Args[0])
+				if err != nil {
+					return err
+				}
+				slot.arg = g
+			} else if x.Func != "COUNT" {
+				return fmt.Errorf("sql: %s(*) is not valid", x.Func)
+			}
+			slots[key] = slot
+			return nil
+		}
+		for _, a := range x.Args {
+			if err := collectAggregates(a, comp, slots); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *InList:
+		if err := collectAggregates(x.X, comp, slots); err != nil {
+			return err
+		}
+		for _, a := range x.List {
+			if err := collectAggregates(a, comp, slots); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Between:
+		if err := collectAggregates(x.X, comp, slots); err != nil {
+			return err
+		}
+		if err := collectAggregates(x.Lo, comp, slots); err != nil {
+			return err
+		}
+		return collectAggregates(x.Hi, comp, slots)
+	case *IsNull:
+		return collectAggregates(x.X, comp, slots)
+	case *Like:
+		if err := collectAggregates(x.X, comp, slots); err != nil {
+			return err
+		}
+		return collectAggregates(x.Pattern, comp, slots)
+	case *Case:
+		for _, w := range x.Whens {
+			if err := collectAggregates(w.Cond, comp, slots); err != nil {
+				return err
+			}
+			if err := collectAggregates(w.Result, comp, slots); err != nil {
+				return err
+			}
+		}
+		return collectAggregates(x.Else, comp, slots)
+	default:
+		return fmt.Errorf("sql: cannot analyse %T", e)
+	}
+}
+
+type group struct {
+	keyVals []dataset.Value
+	accs    []*aggAccumulator
+}
+
+func executeAggregate(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY or aggregates")
+		}
+	}
+	rowComp := &compiler{bindNode: tableBinder(table)}
+
+	// Compile GROUP BY expressions in row context.
+	groupGetters := make([]getter, len(stmt.GroupBy))
+	groupKeys := make([]string, len(stmt.GroupBy))
+	for i, ge := range stmt.GroupBy {
+		if ContainsAggregate(ge) {
+			return nil, fmt.Errorf("sql: aggregate in GROUP BY")
+		}
+		g, err := rowComp.compile(ge)
+		if err != nil {
+			return nil, err
+		}
+		groupGetters[i] = g
+		groupKeys[i] = ge.String()
+	}
+
+	// Discover aggregate slots across items, HAVING and ORDER BY.
+	slots := make(map[string]*aggSlot)
+	for _, it := range stmt.Items {
+		if err := collectAggregates(it.Expr, rowComp, slots); err != nil {
+			return nil, err
+		}
+	}
+	if err := collectAggregates(stmt.Having, rowComp, slots); err != nil {
+		return nil, err
+	}
+	for _, o := range stmt.OrderBy {
+		if err := collectAggregates(o.Expr, rowComp, slots); err != nil {
+			return nil, err
+		}
+	}
+	slotKeys := make([]string, 0, len(slots))
+	for k := range slots {
+		slotKeys = append(slotKeys, k)
+	}
+	sort.Strings(slotKeys)
+	slotIndex := make(map[string]int, len(slotKeys))
+	for i, k := range slotKeys {
+		slotIndex[k] = i
+	}
+
+	var whereG getter
+	if stmt.Where != nil {
+		if ContainsAggregate(stmt.Where) {
+			return nil, fmt.Errorf("sql: aggregate in WHERE (use HAVING)")
+		}
+		g, err := rowComp.compile(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		whereG = g
+	}
+
+	// Scan and group.
+	groups := make(map[string]*group)
+	var order []string
+	nRows := 0
+	if table != nil {
+		nRows = table.NumRows()
+	}
+	for r := 0; r < nRows; r++ {
+		if whereG != nil {
+			v, err := whereG(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != dataset.KindBool || !v.B {
+				continue
+			}
+		}
+		keyVals := make([]dataset.Value, len(groupGetters))
+		for i, g := range groupGetters {
+			v, err := g(r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		key := rowKey(keyVals)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keyVals: keyVals, accs: make([]*aggAccumulator, len(slotKeys))}
+			for i, k := range slotKeys {
+				grp.accs[i] = newAccumulator(slots[k].call.Func)
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, k := range slotKeys {
+			slot := slots[k]
+			if slot.arg == nil { // COUNT(*)
+				grp.accs[i].count++
+				continue
+			}
+			v, err := slot.arg(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := grp.accs[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A table with zero matching rows and no GROUP BY still yields one
+	// global group (SELECT COUNT(*) FROM empty = 0).
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		grp := &group{accs: make([]*aggAccumulator, len(slotKeys))}
+		for i, k := range slotKeys {
+			grp.accs[i] = newAccumulator(slots[k].call.Func)
+		}
+		groups["\x00global"] = grp
+		order = append(order, "\x00global")
+	}
+
+	// Group-context compiler: group expressions and aggregate calls become
+	// lookups; anything else must bottom out in those.
+	makeGroupComp := func(grp *group) *compiler {
+		return &compiler{bindNode: func(e Expr) (getter, bool, error) {
+			s := e.String()
+			for i, gk := range groupKeys {
+				if s == gk {
+					v := grp.keyVals[i]
+					return func(int) (dataset.Value, error) { return v, nil }, true, nil
+				}
+			}
+			if c, ok := e.(*Call); ok && aggregateFuncs[c.Func] {
+				i, ok := slotIndex[s]
+				if !ok {
+					return nil, false, fmt.Errorf("sql: internal: unregistered aggregate %s", s)
+				}
+				v := grp.accs[i].result()
+				return func(int) (dataset.Value, error) { return v, nil }, true, nil
+			}
+			if ref, ok := e.(*ColumnRef); ok {
+				return nil, false, fmt.Errorf("sql: column %q must appear in GROUP BY or inside an aggregate", ref.Name)
+			}
+			return nil, false, nil
+		}}
+	}
+
+	names := make([]string, len(stmt.Items))
+	roles := make([]dataset.Role, len(stmt.Items))
+	for i, it := range stmt.Items {
+		names[i] = it.OutputName()
+		roles[i] = dataset.RoleOther
+		if ref, ok := it.Expr.(*ColumnRef); ok && table != nil {
+			if def, found := table.Schema.Def(ref.Name); found {
+				roles[i] = def.Role
+			}
+		}
+	}
+
+	var rows []outputRow
+	for _, key := range order {
+		grp := groups[key]
+		comp := makeGroupComp(grp)
+		if stmt.Having != nil {
+			hg, err := comp.compile(stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			v, err := hg(0)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != dataset.KindBool || !v.B {
+				continue
+			}
+		}
+		out := outputRow{vals: make([]dataset.Value, len(stmt.Items))}
+		for i, it := range stmt.Items {
+			g, err := comp.compile(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			v, err := g(0)
+			if err != nil {
+				return nil, err
+			}
+			out.vals[i] = v
+		}
+		ogs, err := bindOrderBy(stmt, comp, names)
+		if err != nil {
+			return nil, err
+		}
+		for _, og := range ogs {
+			v, err := og.get(0, out.vals)
+			if err != nil {
+				return nil, err
+			}
+			out.keys = append(out.keys, v)
+		}
+		rows = append(rows, out)
+	}
+	return finishRows(stmt, names, roles, rows)
+}
+
+// cutExplain strips a leading EXPLAIN keyword (case-insensitive) and
+// reports whether one was present.
+func cutExplain(query string) (string, bool) {
+	trimmed := strings.TrimLeft(query, " \t\r\n")
+	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
+		return query, false
+	}
+	switch trimmed[7] {
+	case ' ', '\t', '\r', '\n':
+		return trimmed[8:], true
+	}
+	return query, false
+}
+
+// ExplainPlan renders the fixed execution pipeline a statement will run
+// through, one step per line, innermost first — the engine's EXPLAIN.
+func ExplainPlan(stmt *SelectStmt) []string {
+	var plan []string
+	if stmt.From != "" {
+		plan = append(plan, fmt.Sprintf("scan %s", quoteIdent(stmt.From)))
+	} else {
+		plan = append(plan, "const row")
+	}
+	if stmt.Where != nil {
+		plan = append(plan, "filter "+stmt.Where.String())
+	}
+	isAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, it := range stmt.Items {
+		if !it.Star && ContainsAggregate(it.Expr) {
+			isAgg = true
+		}
+	}
+	if isAgg {
+		if len(stmt.GroupBy) > 0 {
+			keys := make([]string, len(stmt.GroupBy))
+			for i, g := range stmt.GroupBy {
+				keys[i] = g.String()
+			}
+			plan = append(plan, "hash aggregate by "+strings.Join(keys, ", "))
+		} else {
+			plan = append(plan, "global aggregate")
+		}
+		if stmt.Having != nil {
+			plan = append(plan, "having "+stmt.Having.String())
+		}
+	}
+	cols := make([]string, len(stmt.Items))
+	for i, it := range stmt.Items {
+		if it.Star {
+			cols[i] = "*"
+		} else {
+			cols[i] = it.OutputName()
+		}
+	}
+	plan = append(plan, "project "+strings.Join(cols, ", "))
+	if stmt.Distinct {
+		plan = append(plan, "distinct")
+	}
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]string, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			keys[i] = o.Expr.String()
+			if o.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		plan = append(plan, "sort by "+strings.Join(keys, ", "))
+	}
+	if stmt.Limit >= 0 {
+		plan = append(plan, fmt.Sprintf("limit %d", stmt.Limit))
+	}
+	return plan
+}
+
+// Catalog maps table names to tables and runs queries against them.
+type Catalog struct {
+	tables map[string]*dataset.Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*dataset.Table)} }
+
+// Register adds (or replaces) a table under its own name.
+func (c *Catalog) Register(t *dataset.Table) { c.tables[t.Name] = t }
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *dataset.Table { return c.tables[name] }
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query parses and executes a statement against the catalog. A statement
+// prefixed with EXPLAIN returns the execution plan as a one-column table
+// instead of running.
+func (c *Catalog) Query(query string) (*dataset.Table, error) {
+	if rest, ok := cutExplain(query); ok {
+		stmt, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := dataset.NewSchema(dataset.ColumnDef{Name: "plan", Kind: dataset.KindString})
+		if err != nil {
+			return nil, err
+		}
+		t := dataset.NewTable("plan", schema)
+		for _, line := range ExplainPlan(stmt) {
+			if err := t.AppendRow(dataset.StringVal(line)); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var t *dataset.Table
+	if stmt.From != "" {
+		t = c.tables[stmt.From]
+		if t == nil {
+			return nil, fmt.Errorf("sql: unknown table %q", stmt.From)
+		}
+	}
+	return Execute(stmt, t)
+}

@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseFullStatement(t *testing.T) {
+	s := mustParse(t, `SELECT a, SUM(m) AS total FROM t WHERE x > 1 AND y = 'v'
+		GROUP BY a HAVING COUNT(*) > 2 ORDER BY total DESC, a LIMIT 10;`)
+	if len(s.Items) != 2 || s.Items[1].Alias != "total" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if s.From != "t" || s.Where == nil || len(s.GroupBy) != 1 || s.Having == nil {
+		t.Errorf("clauses wrong: %+v", s)
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseCanonicalString(t *testing.T) {
+	in := "SELECT a, SUM(m) AS total FROM t WHERE (x > 1) GROUP BY a ORDER BY total DESC LIMIT 5"
+	s := mustParse(t, in)
+	// Round trip: the canonical string must reparse to the same canonical
+	// string (fixed point).
+	s2 := mustParse(t, s.String())
+	if s.String() != s2.String() {
+		t.Errorf("canonical form unstable:\n%s\n%s", s.String(), s2.String())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT 1 + 2 * 3")
+	if got := s.Items[0].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("precedence = %s", got)
+	}
+	s = mustParse(t, "SELECT a WHERE x = 1 OR y = 2 AND z = 3")
+	// AND binds tighter than OR.
+	if got := s.Where.String(); got != "((x = 1) OR ((y = 2) AND (z = 3)))" {
+		t.Errorf("bool precedence = %s", got)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	s := mustParse(t, "SELECT a WHERE NOT x = 1")
+	if got := s.Where.String(); got != "NOT (x = 1)" {
+		t.Errorf("NOT = %s", got)
+	}
+	s = mustParse(t, "SELECT a WHERE x NOT IN (1, 2)")
+	if got := s.Where.String(); !strings.Contains(got, "NOT IN") {
+		t.Errorf("NOT IN = %s", got)
+	}
+	s = mustParse(t, "SELECT a WHERE x NOT BETWEEN 1 AND 2")
+	if got := s.Where.String(); !strings.Contains(got, "NOT BETWEEN") {
+		t.Errorf("NOT BETWEEN = %s", got)
+	}
+	s = mustParse(t, "SELECT a WHERE x IS NOT NULL")
+	if got := s.Where.String(); got != "(x IS NOT NULL)" {
+		t.Errorf("IS NOT NULL = %s", got)
+	}
+	s = mustParse(t, "SELECT a WHERE name NOT LIKE 'a%'")
+	if got := s.Where.String(); !strings.Contains(got, "NOT LIKE") {
+		t.Errorf("NOT LIKE = %s", got)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t")
+	c, ok := s.Items[0].Expr.(*Call)
+	if !ok || !c.Star || c.Func != "COUNT" {
+		t.Errorf("count(*) = %+v", s.Items[0].Expr)
+	}
+}
+
+func TestParseBareAlias(t *testing.T) {
+	s := mustParse(t, "SELECT count(*) n FROM t")
+	if s.Items[0].Alias != "n" {
+		t.Errorf("bare alias = %q", s.Items[0].Alias)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE a = 1")
+	if !s.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseNullLiterals(t *testing.T) {
+	s := mustParse(t, "SELECT NULL, TRUE, FALSE")
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := mustParse(t, "SELECT -5, -x, +3")
+	if got := s.Items[0].Expr.String(); got != "(-5)" {
+		t.Errorf("neg literal = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM t",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a WHERE",
+		"SELECT a GROUP a",
+		"SELECT a ORDER a",
+		"SELECT a LIMIT x",
+		"SELECT a LIMIT -1",
+		"SELECT a FROM t extra garbage",
+		"SELECT (a FROM t",
+		"SELECT a WHERE x IN 1",
+		"SELECT a WHERE x BETWEEN 1",
+		"SELECT a WHERE x IS 1",
+		"SELECT a WHERE NOT",
+		"SELECT f(a",
+		"SELECT a AS",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestOutputName(t *testing.T) {
+	s := mustParse(t, "SELECT a, b AS bee, SUM(c) FROM t GROUP BY a, b")
+	wants := []string{"a", "bee", "SUM(c)"}
+	for i, w := range wants {
+		if got := s.Items[i].OutputName(); got != w {
+			t.Errorf("output name %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	s := mustParse(t, "SELECT SUM(a) + 1, b, ABS(MAX(c)), f(b) FROM t GROUP BY b")
+	if !ContainsAggregate(s.Items[0].Expr) {
+		t.Error("SUM(a)+1 should contain aggregate")
+	}
+	if ContainsAggregate(s.Items[1].Expr) {
+		t.Error("b should not contain aggregate")
+	}
+	if !ContainsAggregate(s.Items[2].Expr) {
+		t.Error("ABS(MAX(c)) should contain aggregate")
+	}
+	if ContainsAggregate(s.Items[3].Expr) {
+		t.Error("f(b) should not contain aggregate")
+	}
+}

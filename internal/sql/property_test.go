@@ -1,0 +1,235 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewseeker/internal/dataset"
+)
+
+// TestParseStringFixedPoint checks that the canonical rendering of a
+// random parsed statement reparses to the same canonical rendering.
+func TestParseStringFixedPoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("generated invalid query %q: %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", s1.String(), err)
+		}
+		return s1.String() == s2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomQuery builds a syntactically valid query from a small grammar.
+func randomQuery(rng *rand.Rand) string {
+	cols := []string{"a", "b", "c"}
+	col := func() string { return cols[rng.Intn(len(cols))] }
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return col()
+			case 1:
+				return fmt.Sprint(rng.Intn(100))
+			default:
+				return "'v" + fmt.Sprint(rng.Intn(5)) + "'"
+			}
+		}
+		ops := []string{"+", "-", "*"}
+		return "(" + expr(depth-1) + " " + ops[rng.Intn(len(ops))] + " " + expr(depth-1) + ")"
+	}
+	pred := func() string {
+		cmp := []string{"=", "!=", "<", "<=", ">", ">="}
+		switch rng.Intn(4) {
+		case 0:
+			return col() + " " + cmp[rng.Intn(len(cmp))] + " " + fmt.Sprint(rng.Intn(10))
+		case 1:
+			return col() + " IN (1, 2, 3)"
+		case 2:
+			return col() + " BETWEEN 1 AND 5"
+		default:
+			return col() + " IS NOT NULL"
+		}
+	}
+	q := "SELECT " + expr(2) + ", " + col()
+	q += " FROM t"
+	if rng.Intn(2) == 0 {
+		q += " WHERE " + pred() + " AND " + pred()
+	}
+	if rng.Intn(2) == 0 {
+		q += " ORDER BY " + col() + " DESC"
+	}
+	if rng.Intn(2) == 0 {
+		q += fmt.Sprintf(" LIMIT %d", rng.Intn(20))
+	}
+	return q
+}
+
+// TestAggregationMatchesManual cross-checks the SQL engine's GROUP BY
+// against a hand-rolled aggregation over random data.
+func TestAggregationMatchesManual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := dataset.MustSchema(
+			dataset.ColumnDef{Name: "g", Kind: dataset.KindString},
+			dataset.ColumnDef{Name: "v", Kind: dataset.KindFloat},
+		)
+		tab := dataset.NewTable("t", schema)
+		type agg struct {
+			n   int64
+			sum float64
+		}
+		want := map[string]*agg{}
+		for i := 0; i < 50+rng.Intn(100); i++ {
+			g := string(rune('a' + rng.Intn(4)))
+			v := rng.NormFloat64() * 10
+			tab.MustAppendRow(dataset.StringVal(g), dataset.Float(v))
+			if want[g] == nil {
+				want[g] = &agg{}
+			}
+			want[g].n++
+			want[g].sum += v
+		}
+		c := NewCatalog()
+		c.Register(tab)
+		res, err := c.Query("SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY g ORDER BY g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != len(want) {
+			return false
+		}
+		for i := 0; i < res.NumRows(); i++ {
+			g := res.Column("g").Strs[i]
+			w := want[g]
+			if w == nil || res.Column("n").Ints[i] != w.n {
+				return false
+			}
+			got, _ := res.Column("s").Float(i)
+			if diff := got - w.sum; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWhereMatchesManualFilter cross-checks WHERE against a manual filter.
+func TestWhereMatchesManualFilter(t *testing.T) {
+	f := func(seed int64, threshold uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		th := int64(threshold % 50)
+		schema := dataset.MustSchema(dataset.ColumnDef{Name: "x", Kind: dataset.KindInt})
+		tab := dataset.NewTable("t", schema)
+		want := 0
+		for i := 0; i < 100; i++ {
+			v := int64(rng.Intn(50))
+			tab.MustAppendRow(dataset.Int(v))
+			if v > th {
+				want++
+			}
+		}
+		c := NewCatalog()
+		c.Register(tab)
+		res, err := c.Query(fmt.Sprintf("SELECT x FROM t WHERE x > %d", th))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.NumRows() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByMultipleColumns(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "a", Kind: dataset.KindString},
+		dataset.ColumnDef{Name: "b", Kind: dataset.KindString},
+		dataset.ColumnDef{Name: "v", Kind: dataset.KindInt},
+	)
+	tab := dataset.NewTable("t", schema)
+	for i := 0; i < 12; i++ {
+		tab.MustAppendRow(
+			dataset.StringVal(string(rune('a'+i%2))),
+			dataset.StringVal(string(rune('x'+i%3))),
+			dataset.Int(int64(i)),
+		)
+	}
+	c := NewCatalog()
+	c.Register(tab)
+	res, err := c.Query("SELECT a, b, COUNT(*) AS n FROM t GROUP BY a, b ORDER BY a, b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 6 {
+		t.Fatalf("groups = %d, want 6", res.NumRows())
+	}
+	for i := 0; i < 6; i++ {
+		if res.Column("n").Ints[i] != 2 {
+			t.Errorf("group %d count = %d, want 2", i, res.Column("n").Ints[i])
+		}
+	}
+}
+
+func TestGroupKeyNoCollision(t *testing.T) {
+	// Group values ("ab", "c") and ("a", "bc") must form distinct groups:
+	// the group key framing must not concatenate naively.
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "a", Kind: dataset.KindString},
+		dataset.ColumnDef{Name: "b", Kind: dataset.KindString},
+	)
+	tab := dataset.NewTable("t", schema)
+	tab.MustAppendRow(dataset.StringVal("ab"), dataset.StringVal("c"))
+	tab.MustAppendRow(dataset.StringVal("a"), dataset.StringVal("bc"))
+	c := NewCatalog()
+	c.Register(tab)
+	res, err := c.Query("SELECT a, b, COUNT(*) AS n FROM t GROUP BY a, b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2 (key collision)", res.NumRows())
+	}
+}
+
+func TestLimitZeroAndDistinctOrder(t *testing.T) {
+	c := salesCatalog(t)
+	if got := q(t, c, "SELECT * FROM sales LIMIT 0").NumRows(); got != 0 {
+		t.Errorf("LIMIT 0 rows = %d", got)
+	}
+	res := q(t, c, "SELECT DISTINCT region FROM sales ORDER BY region DESC")
+	if res.Column("region").Strs[0] != "west" {
+		t.Errorf("distinct+order wrong: %v", res.Column("region").Strs)
+	}
+}
+
+func TestOrderByAggregateExpression(t *testing.T) {
+	c := salesCatalog(t)
+	res := q(t, c, "SELECT product, SUM(qty) AS s FROM sales GROUP BY product ORDER BY SUM(qty) DESC")
+	if res.Column("product").Strs[0] != "apple" {
+		t.Errorf("order by aggregate wrong: %v", res.Column("product").Strs)
+	}
+}
+
+func TestHavingOnExpression(t *testing.T) {
+	c := salesCatalog(t)
+	res := q(t, c, "SELECT region, AVG(price) AS p FROM sales GROUP BY region HAVING AVG(price) > 1")
+	if res.NumRows() != 1 || res.Column("region").Strs[0] != "west" {
+		t.Errorf("having result: %d rows", res.NumRows())
+	}
+}

@@ -1,0 +1,53 @@
+// Package sql implements the query substrate ViewSeeker runs on: a lexer,
+// parser and executor for an analytic subset of SQL — SELECT with
+// expressions, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, the aggregate
+// functions COUNT/SUM/AVG/MIN/MAX and a few scalar functions (including
+// WIDTH_BUCKET, which the view layer uses to bin numeric dimensions).
+// Queries execute against dataset.Table values registered in a Catalog and
+// return results as new dataset.Table values.
+package sql
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of query"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitively) lex as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "AS": true, "FROM": true,
+	"WHERE": true, "GROUP": true, "BY": true, "HAVING": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "LIKE": true,
+	"TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}

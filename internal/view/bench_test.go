@@ -1,0 +1,70 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGenerator(b *testing.B, rows int) *Generator {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tab := randomTable(rng, rows)
+	var sel []int
+	for i := 0; i < rows; i += 7 {
+		sel = append(sel, i)
+	}
+	g, err := NewGenerator(tab, tab.Subset("tgt", sel), SpaceConfig{BinCounts: []int{4}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkCollectStats(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 100_000)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measures := tab.Schema.Measures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectStats(tab, layout, measures, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectStatsIndexed(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 100_000)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins, err := BinIndex(tab, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measures := tab.Schema.Measures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectStatsIndexed(tab, layout, measures, bins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullViewSpacePairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := benchGenerator(b, 20_000)
+		b.StartTimer()
+		for _, s := range g.Specs() {
+			if _, err := g.Pair(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

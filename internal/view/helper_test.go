@@ -1,0 +1,21 @@
+package view
+
+import (
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/sql"
+)
+
+// mustQuery runs a SQL statement against a single table via a throwaway
+// catalog, failing the test on error.
+func mustQuery(t *testing.T, tab *dataset.Table, query string) *dataset.Table {
+	t.Helper()
+	c := sql.NewCatalog()
+	c.Register(tab)
+	res, err := c.Query(query)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", query, err)
+	}
+	return res
+}

@@ -1,0 +1,333 @@
+package view
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viewseeker/internal/dataset"
+)
+
+// BinLayout fixes the bin structure of one dimension so target and
+// reference histograms align. Categorical layouts enumerate the reference
+// dataset's distinct values; numeric layouts split the reference range
+// into equal-width bins, or into equal-depth (quantile) bins when built
+// with ComputeLayoutEqualDepth.
+type BinLayout struct {
+	Dimension string
+	Numeric   bool
+	Labels    []string
+	// Numeric equal-width layouts: [Lo, Hi) split into Bins equal bins.
+	// Hi is nudged above the data maximum so the max value falls in the
+	// last bin.
+	Lo, Hi float64
+	Bins   int
+	// Numeric equal-depth layouts: bin i covers [edges[i], edges[i+1]),
+	// with the last bin closed above. nil for equal-width layouts.
+	edges []float64
+
+	index map[string]int // categorical group key → bin
+}
+
+// ComputeLayout builds the layout for a dimension from the reference
+// table. bins > 0 requests numeric equal-width binning and is required for
+// numeric dimensions; categorical (string/bool) dimensions ignore it.
+func ComputeLayout(ref *dataset.Table, dim string, bins int) (*BinLayout, error) {
+	col := ref.Column(dim)
+	if col == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", ref.Name, dim)
+	}
+	switch col.Def.Kind {
+	case dataset.KindString, dataset.KindBool:
+		vals, err := ref.DistinctValues(dim)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("view: dimension %q has no values", dim)
+		}
+		l := &BinLayout{Dimension: dim, Labels: vals, index: make(map[string]int, len(vals))}
+		for i, v := range vals {
+			l.index[v] = i
+		}
+		return l, nil
+	case dataset.KindInt, dataset.KindFloat:
+		if bins <= 0 {
+			return nil, fmt.Errorf("view: numeric dimension %q needs a bin count", dim)
+		}
+		lo, hi, ok := ref.NumericRange(dim)
+		if !ok {
+			return nil, fmt.Errorf("view: dimension %q has no numeric values", dim)
+		}
+		if hi <= lo {
+			hi = lo + 1 // constant column: one degenerate range
+		} else {
+			hi = hi + (hi-lo)*1e-9 // include the max in the last bin
+		}
+		l := &BinLayout{Dimension: dim, Numeric: true, Lo: lo, Hi: hi, Bins: bins}
+		width := (hi - lo) / float64(bins)
+		for i := 0; i < bins; i++ {
+			l.Labels = append(l.Labels, fmt.Sprintf("[%.3g,%.3g)", lo+float64(i)*width, lo+float64(i+1)*width))
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("view: dimension %q has unsupported kind %s", dim, col.Def.Kind)
+	}
+}
+
+// ComputeLayoutEqualDepth builds an equal-depth (quantile) layout for a
+// numeric dimension: bin boundaries are chosen so that the reference data
+// spreads as evenly as possible across bins, which keeps heavily skewed
+// dimensions readable where equal-width binning would dump everything
+// into one bar. Duplicate quantile boundaries collapse, so the layout may
+// end up with fewer bins than requested.
+func ComputeLayoutEqualDepth(ref *dataset.Table, dim string, bins int) (*BinLayout, error) {
+	col := ref.Column(dim)
+	if col == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", ref.Name, dim)
+	}
+	if col.Def.Kind != dataset.KindInt && col.Def.Kind != dataset.KindFloat {
+		return nil, fmt.Errorf("view: equal-depth binning needs a numeric dimension, %q is %s", dim, col.Def.Kind)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("view: equal-depth binning needs a positive bin count")
+	}
+	vals := make([]float64, 0, ref.NumRows())
+	for r := 0; r < ref.NumRows(); r++ {
+		if v, ok := col.Float(r); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("view: dimension %q has no numeric values", dim)
+	}
+	sort.Float64s(vals)
+	// Interior quantile boundaries, deduplicated.
+	edges := []float64{vals[0]}
+	for i := 1; i < bins; i++ {
+		q := vals[i*len(vals)/bins]
+		if q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	top := vals[len(vals)-1]
+	if top <= edges[len(edges)-1] {
+		top = edges[len(edges)-1] + 1
+	} else {
+		top += (top - vals[0]) * 1e-9 // include the max in the last bin
+	}
+	edges = append(edges, top)
+	l := &BinLayout{Dimension: dim, Numeric: true, Lo: edges[0], Hi: top, Bins: len(edges) - 1, edges: edges}
+	for i := 0; i+1 < len(edges); i++ {
+		l.Labels = append(l.Labels, fmt.Sprintf("[%.3g,%.3g)", edges[i], edges[i+1]))
+	}
+	return l, nil
+}
+
+// NumBins returns the layout's bin count.
+func (l *BinLayout) NumBins() int { return len(l.Labels) }
+
+// BinOf maps one cell to its bin index, or -1 for NULLs and values outside
+// the layout (e.g. a categorical value present in DQ but absent from DR —
+// impossible when DQ ⊆ DR, but guarded anyway).
+func (l *BinLayout) BinOf(col *dataset.Column, row int) int {
+	if col.IsNull(row) {
+		return -1
+	}
+	if !l.Numeric {
+		if i, ok := l.index[col.GroupKey(row)]; ok {
+			return i
+		}
+		return -1
+	}
+	f, ok := col.Float(row)
+	if !ok {
+		return -1
+	}
+	if f < l.Lo || f >= l.Hi {
+		if f == l.Hi { // degenerate constant-column layout
+			return l.Bins - 1
+		}
+		return -1
+	}
+	if l.edges != nil {
+		// Equal-depth: binary search the boundary list.
+		i := sort.SearchFloat64s(l.edges, f)
+		// SearchFloat64s returns the first edge ≥ f; bin i covers
+		// [edges[i], edges[i+1]), so an exact boundary hit belongs to the
+		// bin starting there.
+		if i < len(l.edges) && l.edges[i] == f {
+			if i == len(l.edges)-1 {
+				return l.Bins - 1
+			}
+			return i
+		}
+		return i - 1
+	}
+	i := int((f - l.Lo) / (l.Hi - l.Lo) * float64(l.Bins))
+	if i >= l.Bins {
+		i = l.Bins - 1
+	}
+	return i
+}
+
+// Stats holds one scan's worth of group statistics for a (dimension,
+// bins) layout: for every bin and every measure, the count, sum, sum of
+// squares, min and max of the measure. One Stats answers every (m, f)
+// view on that dimension, which is how the generator amortises scans.
+type Stats struct {
+	Layout   *BinLayout
+	Measures []string
+	// All indexed [bin][measure].
+	Counts [][]float64
+	Sums   [][]float64
+	SumSqs [][]float64
+	Mins   [][]float64
+	Maxs   [][]float64
+}
+
+// BinIndex materialises the bin of every row of a table under a layout —
+// a dictionary-encoded dimension column. Scans that reuse it avoid the
+// per-row map lookup that otherwise dominates categorical grouping.
+// Entries are -1 for NULLs and out-of-layout values.
+func BinIndex(t *dataset.Table, layout *BinLayout) ([]int32, error) {
+	dimCol := t.Column(layout.Dimension)
+	if dimCol == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", t.Name, layout.Dimension)
+	}
+	bins := make([]int32, t.NumRows())
+	for r := range bins {
+		bins[r] = int32(layout.BinOf(dimCol, r))
+	}
+	return bins, nil
+}
+
+// CollectStats scans the table (restricted to rows, or all rows when rows
+// is nil) and accumulates per-bin statistics for every measure.
+func CollectStats(t *dataset.Table, layout *BinLayout, measures []string, rows []int) (*Stats, error) {
+	return collectStats(t, layout, measures, rows, nil)
+}
+
+// CollectStatsIndexed is CollectStats over all rows using a precomputed
+// bin index (from BinIndex), skipping the per-row bin lookup.
+func CollectStatsIndexed(t *dataset.Table, layout *BinLayout, measures []string, bins []int32) (*Stats, error) {
+	if len(bins) != t.NumRows() {
+		return nil, fmt.Errorf("view: bin index has %d entries for %d rows", len(bins), t.NumRows())
+	}
+	return collectStats(t, layout, measures, nil, bins)
+}
+
+func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows []int, bins []int32) (*Stats, error) {
+	dimCol := t.Column(layout.Dimension)
+	if dimCol == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", t.Name, layout.Dimension)
+	}
+	mCols := make([]*dataset.Column, len(measures))
+	for i, m := range measures {
+		mCols[i] = t.Column(m)
+		if mCols[i] == nil {
+			return nil, fmt.Errorf("view: table %q has no measure %q", t.Name, m)
+		}
+	}
+	nb := layout.NumBins()
+	s := &Stats{Layout: layout, Measures: measures}
+	alloc := func() [][]float64 {
+		out := make([][]float64, nb)
+		for i := range out {
+			out[i] = make([]float64, len(measures))
+		}
+		return out
+	}
+	s.Counts, s.Sums, s.SumSqs = alloc(), alloc(), alloc()
+	s.Mins, s.Maxs = alloc(), alloc()
+	for b := 0; b < nb; b++ {
+		for m := range measures {
+			s.Mins[b][m] = math.Inf(1)
+			s.Maxs[b][m] = math.Inf(-1)
+		}
+	}
+	accumulate := func(r, b int) {
+		for m, col := range mCols {
+			v, ok := col.Float(r)
+			if !ok {
+				continue
+			}
+			s.Counts[b][m]++
+			s.Sums[b][m] += v
+			s.SumSqs[b][m] += v * v
+			if v < s.Mins[b][m] {
+				s.Mins[b][m] = v
+			}
+			if v > s.Maxs[b][m] {
+				s.Maxs[b][m] = v
+			}
+		}
+	}
+	switch {
+	case bins != nil:
+		for r, b := range bins {
+			if b >= 0 {
+				accumulate(r, int(b))
+			}
+		}
+	case rows == nil:
+		for r := 0; r < t.NumRows(); r++ {
+			if b := layout.BinOf(dimCol, r); b >= 0 {
+				accumulate(r, b)
+			}
+		}
+	default:
+		for _, r := range rows {
+			if b := layout.BinOf(dimCol, r); b >= 0 {
+				accumulate(r, b)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Histogram extracts the (measure, agg) view from collected statistics.
+func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
+	mi := -1
+	for i, m := range s.Measures {
+		if m == measure {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 {
+		return nil, fmt.Errorf("view: stats have no measure %q", measure)
+	}
+	nb := s.Layout.NumBins()
+	h := &Histogram{
+		Labels: s.Layout.Labels,
+		Values: make([]float64, nb),
+		Counts: make([]float64, nb),
+		Sums:   make([]float64, nb),
+		SumSqs: make([]float64, nb),
+	}
+	for b := 0; b < nb; b++ {
+		c := s.Counts[b][mi]
+		h.Counts[b] = c
+		h.Sums[b] = s.Sums[b][mi]
+		h.SumSqs[b] = s.SumSqs[b][mi]
+		if c == 0 {
+			continue // empty bin: bar height 0 for every aggregate
+		}
+		switch agg {
+		case "COUNT":
+			h.Values[b] = c
+		case "SUM":
+			h.Values[b] = s.Sums[b][mi]
+		case "AVG":
+			h.Values[b] = s.Sums[b][mi] / c
+		case "MIN":
+			h.Values[b] = s.Mins[b][mi]
+		case "MAX":
+			h.Values[b] = s.Maxs[b][mi]
+		default:
+			return nil, fmt.Errorf("view: unknown aggregate %q", agg)
+		}
+	}
+	return h, nil
+}

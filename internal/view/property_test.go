@@ -1,0 +1,249 @@
+package view
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewseeker/internal/dataset"
+)
+
+// randomTable builds a table with one categorical and one numeric
+// dimension and two measures, with some NULLs sprinkled in.
+func randomTable(rng *rand.Rand, rows int) *dataset.Table {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "cat", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "num", Kind: dataset.KindFloat, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m1", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "m2", Kind: dataset.KindInt, Role: dataset.RoleMeasure},
+	)
+	t := dataset.NewTable("rt", schema)
+	for i := 0; i < rows; i++ {
+		m1 := dataset.Float(rng.NormFloat64() * 5)
+		if rng.Intn(10) == 0 {
+			m1 = dataset.Null
+		}
+		t.MustAppendRow(
+			dataset.StringVal(string(rune('a'+rng.Intn(4)))),
+			dataset.Float(rng.Float64()*100),
+			m1,
+			dataset.Int(int64(rng.Intn(50))),
+		)
+	}
+	return t
+}
+
+// TestBinIndexMatchesBinOf checks the dictionary-encoded bins agree with
+// the per-row lookup for both layout kinds.
+func TestBinIndexMatchesBinOf(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, 200)
+		for _, spec := range []struct {
+			dim  string
+			bins int
+		}{{"cat", 0}, {"num", 4}} {
+			layout, err := ComputeLayout(tab, spec.dim, spec.bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bins, err := BinIndex(tab, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := tab.Column(spec.dim)
+			for r := 0; r < tab.NumRows(); r++ {
+				if int(bins[r]) != layout.BinOf(col, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCollectStatsIndexedEquivalence checks the indexed scan produces
+// exactly the statistics of the plain scan.
+func TestCollectStatsIndexedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := randomTable(rng, 500)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CollectStats(tab, layout, []string{"m1", "m2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := BinIndex(tab, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := CollectStatsIndexed(tab, layout, []string{"m1", "m2"}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < layout.NumBins(); b++ {
+		for m := 0; m < 2; m++ {
+			if plain.Counts[b][m] != indexed.Counts[b][m] ||
+				plain.Sums[b][m] != indexed.Sums[b][m] ||
+				plain.SumSqs[b][m] != indexed.SumSqs[b][m] ||
+				plain.Mins[b][m] != indexed.Mins[b][m] ||
+				plain.Maxs[b][m] != indexed.Maxs[b][m] {
+				t.Fatalf("stats differ at bin %d measure %d", b, m)
+			}
+		}
+	}
+	if _, err := CollectStatsIndexed(tab, layout, []string{"m1"}, bins[:10]); err == nil {
+		t.Error("short bin index should fail")
+	}
+}
+
+// TestStatsAdditivity: stats over two disjoint row subsets must sum to
+// stats over their union (counts/sums/sumsqs; min/max combine as min/max).
+func TestStatsAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, 300)
+		layout, err := ComputeLayout(tab, "cat", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, bRows []int
+		for i := 0; i < tab.NumRows(); i++ {
+			if i%2 == 0 {
+				a = append(a, i)
+			} else {
+				bRows = append(bRows, i)
+			}
+		}
+		sa, err := CollectStats(tab, layout, []string{"m1"}, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := CollectStats(tab, layout, []string{"m1"}, bRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := CollectStats(tab, layout, []string{"m1"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bin := 0; bin < layout.NumBins(); bin++ {
+			if sa.Counts[bin][0]+sb.Counts[bin][0] != all.Counts[bin][0] {
+				return false
+			}
+			if math.Abs(sa.Sums[bin][0]+sb.Sums[bin][0]-all.Sums[bin][0]) > 1e-9 {
+				return false
+			}
+			if math.Abs(sa.SumSqs[bin][0]+sb.SumSqs[bin][0]-all.SumSqs[bin][0]) > 1e-9 {
+				return false
+			}
+			if all.Counts[bin][0] > 0 {
+				if math.Min(sa.Mins[bin][0], sb.Mins[bin][0]) != all.Mins[bin][0] {
+					return false
+				}
+				if math.Max(sa.Maxs[bin][0], sb.Maxs[bin][0]) != all.Maxs[bin][0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistributionSumsToOne: every histogram's distribution is a proper
+// probability distribution.
+func TestDistributionSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, 150)
+		layout, err := ComputeLayout(tab, "num", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := CollectStats(tab, layout, []string{"m1", "m2"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, agg := range Aggregates {
+			h, err := stats.Histogram("m2", agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for _, p := range h.Distribution() {
+				if p < 0 {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairFocusedMatchesPair: the narrow refresh path must produce
+// exactly the same pair as the all-measures path.
+func TestPairFocusedMatchesPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := randomTable(rng, 400)
+	var rows []int
+	for i := 0; i < 400; i += 3 {
+		rows = append(rows, i)
+	}
+	tgt := ref.Subset("tgt", rows)
+
+	mk := func() *Generator {
+		g, err := NewGenerator(ref, tgt, SpaceConfig{BinCounts: []int{4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	gFull, gFocused := mk(), mk()
+	for _, spec := range gFull.Specs() {
+		pf, err := gFull.Pair(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn, err := gFocused.PairFocused(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range pf.Target.Values {
+			if pf.Target.Values[b] != pn.Target.Values[b] ||
+				pf.Reference.Values[b] != pn.Reference.Values[b] ||
+				pf.Target.SumSqs[b] != pn.Target.SumSqs[b] {
+				t.Fatalf("focused pair differs for %s at bin %d", spec, b)
+			}
+		}
+	}
+}
+
+// TestPairFocusedOutsideSpace rejects unknown specs.
+func TestPairFocusedOutsideSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := randomTable(rng, 50)
+	tgt := ref.Subset("tgt", []int{0, 1, 2})
+	g, err := NewGenerator(ref, tgt, SpaceConfig{BinCounts: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PairFocused(Spec{Dimension: "cat", Measure: "m1", Agg: "SUM", Bins: 77}); err == nil {
+		t.Error("expected out-of-space error")
+	}
+}

@@ -1,0 +1,374 @@
+package view
+
+import (
+	"fmt"
+
+	"viewseeker/internal/dataset"
+)
+
+// SpaceConfig controls view-space enumeration.
+type SpaceConfig struct {
+	// Aggs is the aggregate-function set; nil means the standard five.
+	Aggs []string
+	// BinCounts lists the bin configurations applied to numeric dimensions
+	// (the SYN testbed uses {3, 4}); nil means {4}. Categorical dimensions
+	// always get exactly one configuration (their distinct values).
+	BinCounts []int
+	// EqualDepth switches numeric dimensions from equal-width to
+	// equal-depth (quantile) binning, computed on the reference data.
+	EqualDepth bool
+}
+
+func (c SpaceConfig) aggs() []string {
+	if len(c.Aggs) == 0 {
+		return Aggregates
+	}
+	return c.Aggs
+}
+
+func (c SpaceConfig) binCounts() []int {
+	if len(c.BinCounts) == 0 {
+		return []int{4}
+	}
+	return c.BinCounts
+}
+
+// Enumerate lists every view spec over the table's dimension and measure
+// attributes: |A| × |M| × |F| specs for categorical data, times the number
+// of bin configurations for numeric dimensions (Eq. 1; the paper's factor
+// 2 counts the target/reference pair that every spec implies).
+func Enumerate(t *dataset.Table, cfg SpaceConfig) ([]Spec, error) {
+	dims := t.Schema.Dimensions()
+	measures := t.Schema.Measures()
+	if len(dims) == 0 || len(measures) == 0 {
+		return nil, fmt.Errorf("view: table %q needs at least one dimension and one measure (have %d, %d)",
+			t.Name, len(dims), len(measures))
+	}
+	var specs []Spec
+	for _, d := range dims {
+		def, _ := t.Schema.Def(d)
+		numeric := def.Kind == dataset.KindInt || def.Kind == dataset.KindFloat
+		binConfigs := []int{0}
+		if numeric {
+			binConfigs = cfg.binCounts()
+		}
+		for _, bins := range binConfigs {
+			for _, m := range measures {
+				for _, f := range cfg.aggs() {
+					specs = append(specs, Spec{Dimension: d, Measure: m, Agg: f, Bins: bins})
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// Generator executes view pairs over a reference table DR and a target
+// subset DQ, amortising one scan per (dimension, bins) layout across all
+// (measure, aggregate) combinations.
+type Generator struct {
+	Ref    *dataset.Table
+	Target *dataset.Table
+	cfg    SpaceConfig
+
+	specs    []Spec
+	layouts  map[layoutKey]*BinLayout
+	refStats map[layoutKey]*Stats // full-data reference stats cache
+	tgtStats map[layoutKey]*Stats // full-data target stats cache
+	// Focused (single-measure) full-data stats, used by incremental
+	// refresh so that upgrading one view costs one narrow scan instead of
+	// an all-measures layout scan.
+	refFocused map[measureKey]*Stats
+	tgtFocused map[measureKey]*Stats
+	// Lazily built dictionary-encoded dimension columns (row → bin) for
+	// full scans; narrow refresh scans of the same layout reuse them and
+	// skip the per-row bin lookup.
+	refBins map[layoutKey][]int32
+	tgtBins map[layoutKey][]int32
+}
+
+type layoutKey struct {
+	dim  string
+	bins int
+}
+
+type measureKey struct {
+	layoutKey
+	measure string
+}
+
+// NewGenerator enumerates the space and pre-computes bin layouts from the
+// reference table. The target table must share the reference schema.
+func NewGenerator(ref, target *dataset.Table, cfg SpaceConfig) (*Generator, error) {
+	if ref == nil || target == nil {
+		return nil, fmt.Errorf("view: generator needs both reference and target tables")
+	}
+	specs, err := Enumerate(ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		Ref: ref, Target: target, cfg: cfg, specs: specs,
+		layouts:    make(map[layoutKey]*BinLayout),
+		refStats:   make(map[layoutKey]*Stats),
+		tgtStats:   make(map[layoutKey]*Stats),
+		refFocused: make(map[measureKey]*Stats),
+		tgtFocused: make(map[measureKey]*Stats),
+		refBins:    make(map[layoutKey][]int32),
+		tgtBins:    make(map[layoutKey][]int32),
+	}
+	for _, s := range specs {
+		k := layoutKey{s.Dimension, s.Bins}
+		if _, ok := g.layouts[k]; ok {
+			continue
+		}
+		var l *BinLayout
+		var err error
+		if cfg.EqualDepth && s.Bins > 0 {
+			l, err = ComputeLayoutEqualDepth(ref, s.Dimension, s.Bins)
+		} else {
+			l, err = ComputeLayout(ref, s.Dimension, s.Bins)
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.layouts[k] = l
+	}
+	return g, nil
+}
+
+// Specs returns the enumerated view space (shared slice; do not mutate).
+func (g *Generator) Specs() []Spec { return g.specs }
+
+// Layout returns the bin layout a spec uses.
+func (g *Generator) Layout(s Spec) *BinLayout { return g.layouts[layoutKey{s.Dimension, s.Bins}] }
+
+// Warm computes the full-data bin indexes and group statistics of every
+// layout for both tables, fanning the scans out over the given number of
+// worker goroutines (≤ 1 means sequential). Scans are independent per
+// (table, layout), so results are identical to the lazy path; Warm just
+// front-loads them concurrently. It is not safe to call concurrently with
+// other generator methods.
+func (g *Generator) Warm(workers int) error {
+	type job struct {
+		t        *dataset.Table
+		stats    map[layoutKey]*Stats
+		binCache map[layoutKey][]int32
+		k        layoutKey
+		// bins is the pre-existing cached bin index, resolved on this
+		// goroutine before the workers start: workers must not touch the
+		// cache maps while the collector below writes to them.
+		bins []int32
+	}
+	type result struct {
+		job   job
+		bins  []int32
+		stats *Stats
+		err   error
+	}
+	var jobs []job
+	for k := range g.layouts {
+		if _, ok := g.refStats[k]; !ok {
+			jobs = append(jobs, job{g.Ref, g.refStats, g.refBins, k, g.refBins[k]})
+		}
+		if _, ok := g.tgtStats[k]; !ok {
+			jobs = append(jobs, job{g.Target, g.tgtStats, g.tgtBins, k, g.tgtBins[k]})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan job)
+	resCh := make(chan result, len(jobs))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobCh {
+				r := result{job: j}
+				r.bins = j.bins
+				if r.bins == nil {
+					r.bins, r.err = BinIndex(j.t, g.layouts[j.k])
+				}
+				if r.err == nil {
+					r.stats, r.err = CollectStatsIndexed(j.t, g.layouts[j.k], j.t.Schema.Measures(), r.bins)
+				}
+				resCh <- r
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+	var firstErr error
+	for range jobs {
+		r := <-resCh
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		// Map writes stay on this goroutine.
+		r.job.binCache[r.job.k] = r.bins
+		r.job.stats[r.job.k] = r.stats
+	}
+	return firstErr
+}
+
+// binsFor returns (building lazily) the dictionary-encoded bin column of
+// one table under one layout.
+func (g *Generator) binsFor(t *dataset.Table, cache map[layoutKey][]int32, k layoutKey) ([]int32, error) {
+	if b, ok := cache[k]; ok {
+		return b, nil
+	}
+	b, err := BinIndex(t, g.layouts[k])
+	if err != nil {
+		return nil, err
+	}
+	cache[k] = b
+	return b, nil
+}
+
+// statsFor returns the group statistics of one table under one layout,
+// scanning on first use and caching per layout — one scan answers every
+// (measure, aggregate) view on that dimension. Full scans (rows == nil)
+// go through the bin-index cache.
+func (g *Generator) statsFor(t *dataset.Table, cache map[layoutKey]*Stats, k layoutKey, rows []int) (*Stats, error) {
+	if s, ok := cache[k]; ok {
+		return s, nil
+	}
+	var s *Stats
+	var err error
+	if rows == nil {
+		binCache := g.refBins
+		if t == g.Target {
+			binCache = g.tgtBins
+		}
+		var bins []int32
+		bins, err = g.binsFor(t, binCache, k)
+		if err != nil {
+			return nil, err
+		}
+		s, err = CollectStatsIndexed(t, g.layouts[k], t.Schema.Measures(), bins)
+	} else {
+		s, err = CollectStats(t, g.layouts[k], t.Schema.Measures(), rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cache[k] = s
+	return s, nil
+}
+
+// Pair executes one view spec over the full reference and target data,
+// scanning (and caching) all measures of the spec's layout at once — the
+// right cost model for whole-space passes.
+func (g *Generator) Pair(s Spec) (*Pair, error) {
+	return g.pair(s, g.refStats, g.tgtStats, nil, nil)
+}
+
+// PairFocused executes one view spec over the full data, scanning only the
+// spec's own measure when the all-measures statistics are not already
+// cached. Incremental refinement uses it so that upgrading one rough view
+// costs one narrow scan: the optimisation's pruning claim is about
+// per-view work, and a full-layout scan would amortise it away.
+func (g *Generator) PairFocused(s Spec) (*Pair, error) {
+	k := layoutKey{s.Dimension, s.Bins}
+	layout, ok := g.layouts[k]
+	if !ok {
+		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
+	}
+	statsOf := func(t *dataset.Table, full map[layoutKey]*Stats, focused map[measureKey]*Stats, binCache map[layoutKey][]int32) (*Stats, error) {
+		if st, ok := full[k]; ok {
+			return st, nil
+		}
+		mk := measureKey{k, s.Measure}
+		if st, ok := focused[mk]; ok {
+			return st, nil
+		}
+		bins, err := g.binsFor(t, binCache, k)
+		if err != nil {
+			return nil, err
+		}
+		st, err := CollectStatsIndexed(t, layout, []string{s.Measure}, bins)
+		if err != nil {
+			return nil, err
+		}
+		focused[mk] = st
+		return st, nil
+	}
+	rs, err := statsOf(g.Ref, g.refStats, g.refFocused, g.refBins)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := statsOf(g.Target, g.tgtStats, g.tgtFocused, g.tgtBins)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePair(s, rs, ts)
+}
+
+// SampledRun scopes one α-sample pass over the generator's tables: it
+// caches the sampled group statistics per layout so that a whole-space
+// feature pass costs one sampled scan per layout, not per view. refRows
+// and tgtRows restrict the reference and target scans (nil = all rows).
+type SampledRun struct {
+	g                *Generator
+	refRows, tgtRows []int
+	refStats         map[layoutKey]*Stats
+	tgtStats         map[layoutKey]*Stats
+}
+
+// NewSampledRun starts a sampled pass.
+func (g *Generator) NewSampledRun(refRows, tgtRows []int) *SampledRun {
+	return &SampledRun{
+		g: g, refRows: refRows, tgtRows: tgtRows,
+		refStats: make(map[layoutKey]*Stats),
+		tgtStats: make(map[layoutKey]*Stats),
+	}
+}
+
+// Pair executes one view spec over the run's samples.
+func (r *SampledRun) Pair(s Spec) (*Pair, error) {
+	return r.g.pair(s, r.refStats, r.tgtStats, r.refRows, r.tgtRows)
+}
+
+func (g *Generator) pair(s Spec, refCache, tgtCache map[layoutKey]*Stats, refRows, tgtRows []int) (*Pair, error) {
+	k := layoutKey{s.Dimension, s.Bins}
+	if _, ok := g.layouts[k]; !ok {
+		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
+	}
+	rs, err := g.statsFor(g.Ref, refCache, k, refRows)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := g.statsFor(g.Target, tgtCache, k, tgtRows)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePair(s, rs, ts)
+}
+
+func assemblePair(s Spec, refStats, tgtStats *Stats) (*Pair, error) {
+	rh, err := refStats.Histogram(s.Measure, s.Agg)
+	if err != nil {
+		return nil, err
+	}
+	th, err := tgtStats.Histogram(s.Measure, s.Agg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pair{Spec: s, Target: th, Reference: rh}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

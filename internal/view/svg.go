@@ -1,0 +1,100 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+)
+
+// svgPalette holds the two series colours of the paper's Figure 1: the
+// reference in grey, the selected subset in near-black.
+const (
+	svgTargetColor    = "#1a1a1a"
+	svgReferenceColor = "#b9b9b9"
+)
+
+// RenderSVG draws the pair as a grouped bar chart — the reference series
+// behind the target series per bin, with axis labels — sized width×height
+// pixels. It is the chart the HTTP UI serves; the ASCII Render remains the
+// terminal form.
+func (p *Pair) RenderSVG(width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 320
+	}
+	const marginLeft, marginRight, marginTop, marginBottom = 50, 10, 30, 50
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	maxVal := 0.0
+	for _, v := range p.Target.Values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	for _, v := range p.Reference.Values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	bins := p.Target.Bins()
+	groupW := plotW / float64(bins)
+	barW := groupW * 0.35
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`,
+		marginLeft, svgEscape(p.Spec.String()))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`,
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`,
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+	// Y-axis max label.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`,
+		marginLeft-4, marginTop+10, maxVal)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end">0</text>`,
+		marginLeft-4, height-marginBottom)
+
+	bar := func(value float64, x float64, color, series string) {
+		if value < 0 {
+			value = 0
+		}
+		h := value / maxVal * plotH
+		y := float64(height-marginBottom) - h
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s: %.4g</title></rect>`,
+			x, y, barW, h, color, series, value)
+	}
+	for b := 0; b < bins; b++ {
+		groupX := float64(marginLeft) + float64(b)*groupW
+		bar(p.Reference.Values[b], groupX+groupW*0.12, svgReferenceColor, "reference")
+		bar(p.Target.Values[b], groupX+groupW*0.52, svgTargetColor, "target")
+		label := p.Target.Labels[b]
+		if len(label) > 10 {
+			label = label[:9] + "…"
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+			groupX+groupW/2, height-marginBottom+16, svgEscape(label))
+	}
+
+	// Legend.
+	legendY := height - 16
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d">target (DQ)</text>`,
+		marginLeft, legendY-9, svgTargetColor, marginLeft+14, legendY)
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d">reference (DR)</text>`,
+		marginLeft+110, legendY-9, svgReferenceColor, marginLeft+124, legendY)
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

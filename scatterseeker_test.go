@@ -1,0 +1,124 @@
+package viewseeker
+
+import (
+	"strings"
+	"testing"
+
+	"viewseeker/internal/dataset"
+)
+
+func scatterTable(t *testing.T) *Table {
+	t.Helper()
+	return dataset.GenerateNBA(dataset.NBAConfig{Rows: 5000, Seed: 6, HotTeam: "GSW"})
+}
+
+func TestNewScatterSession(t *testing.T) {
+	table := scatterTable(t)
+	s, err := NewScatter(table, "SELECT * FROM nba WHERE team = 'GSW'", Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumViews() != 10 { // C(5,2) measure pairs
+		t.Fatalf("scatter views = %d, want 10", s.NumViews())
+	}
+	if got := len(s.FeatureNames()); got != 6 {
+		t.Errorf("scatter features = %d", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := 0.2
+		if i%2 == 0 {
+			label = 0.8
+		}
+		if err := s.Feedback(v.Index, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumLabels() != 4 {
+		t.Errorf("labels = %d", s.NumLabels())
+	}
+	top := s.TopK()
+	if len(top) != 3 {
+		t.Fatalf("topk = %d", len(top))
+	}
+	w, _ := s.Weights()
+	if len(w) != 6 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestScatterRenderAndPair(t *testing.T) {
+	table := scatterTable(t)
+	s, err := NewScatter(table, "SELECT * FROM nba WHERE team = 'GSW'", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Render(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "target r=") {
+		t.Errorf("render:\n%s", out)
+	}
+	p, err := s.Pair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reference.N == 0 || p.Target.N == 0 {
+		t.Error("summaries empty")
+	}
+	if _, err := s.Pair(-1); err == nil {
+		t.Error("out-of-range pair should fail")
+	}
+}
+
+func TestNewScatterValidation(t *testing.T) {
+	if _, err := NewScatter(nil, "SELECT 1", Options{}); err == nil {
+		t.Error("nil table should fail")
+	}
+	table := scatterTable(t)
+	if _, err := NewScatter(table, "broken(", Options{}); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := NewScatter(table, "SELECT * FROM nba WHERE team = 'XXX'", Options{}); err == nil {
+		t.Error("empty DQ should fail")
+	}
+}
+
+func TestScatterFindsCorrelationShift(t *testing.T) {
+	// A user rewarding correlation shifts must get a three-point pair on
+	// top: GSW's positional three-point profile breaks the league's
+	// rate-vs-rebounds relationship.
+	table := scatterTable(t)
+	s, err := NewScatter(table, "SELECT * FROM nba WHERE team = 'GSW'", Options{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := s.Next()
+		if err != nil {
+			break
+		}
+		p, err := s.Pair(v.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := p.Target.Corr - p.Reference.Corr
+		if label < 0 {
+			label = -label
+		}
+		if label > 1 {
+			label = 1
+		}
+		if err := s.Feedback(v.Index, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := s.TopK()[0].Spec
+	if !strings.Contains(best.X+best.Y, "three_pt") {
+		t.Errorf("top scatter view = %v, want a three-point pair", best)
+	}
+}

@@ -1,0 +1,438 @@
+// Package viewseeker is an interactive view recommendation library: given
+// a dataset and a query that selects the subset a user is exploring, it
+// enumerates every (dimension, measure, aggregate) view, learns the user's
+// utility function from simple 0–1 interest labels via active learning,
+// and recommends the top-k views — a Go implementation of the ViewSeeker
+// system (Zhang, Ge, Chrysanthis, Sharaf; EDBT/ICDT BigVis 2019).
+//
+// Typical use:
+//
+//	table, _ := viewseeker.LoadCSV("patients.csv")
+//	viewseeker.AssignRoles(table, dims, measures)
+//	s, _ := viewseeker.New(table, "SELECT * FROM patients WHERE age > 80", viewseeker.Options{K: 5})
+//	for !satisfied {
+//		v, _ := s.Next()
+//		s.Feedback(v.Index, askUser(s.Render(v.Index)))
+//		show(s.TopK())
+//	}
+package viewseeker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"viewseeker/internal/active"
+	"viewseeker/internal/core"
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/diversify"
+	"viewseeker/internal/explain"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/sql"
+	"viewseeker/internal/view"
+)
+
+// Re-exported substrate types. Aliases keep one canonical implementation
+// in the internal packages while letting library users name the types.
+type (
+	// Table is an in-memory columnar table with dimension/measure roles.
+	Table = dataset.Table
+	// Schema describes a table's columns.
+	Schema = dataset.Schema
+	// ColumnDef describes one column.
+	ColumnDef = dataset.ColumnDef
+	// Value is the dynamically typed scalar used at row level.
+	Value = dataset.Value
+	// Spec identifies one view: (dimension, measure, aggregate, bins).
+	Spec = view.Spec
+	// Pair is a target view with its aligned reference view.
+	Pair = view.Pair
+	// Histogram is one executed view.
+	Histogram = view.Histogram
+	// Feature is one utility component, for custom registrations.
+	Feature = feature.Feature
+	// Catalog maps table names to tables for SQL access.
+	Catalog = sql.Catalog
+)
+
+// Role constants for AssignRoles.
+const (
+	RoleDimension = dataset.RoleDimension
+	RoleMeasure   = dataset.RoleMeasure
+)
+
+// LoadCSV reads a CSV file into a table (kinds inferred from the data).
+// When a .schema.json sidecar written by SaveCSVWithSchema sits next to
+// the file, its dimension/measure roles are applied automatically.
+func LoadCSV(path string) (*Table, error) { return dataset.ReadCSVWithSchema(path) }
+
+// SaveCSVWithSchema writes a table to CSV plus a .schema.json sidecar
+// preserving its dimension/measure roles, so LoadCSV round-trips fully.
+func SaveCSVWithSchema(t *Table, path string) error { return dataset.WriteCSVWithSchema(t, path) }
+
+// ReadCSV reads CSV from a reader into a table named name.
+func ReadCSV(name string, r io.Reader) (*Table, error) { return dataset.ReadCSV(name, r) }
+
+// SaveCSV writes a table to a CSV file.
+func SaveCSV(t *Table, path string) error { return dataset.WriteCSVFile(t, path) }
+
+// AssignRoles marks columns as dimensions and measures; only such columns
+// enter the view space.
+func AssignRoles(t *Table, dims, measures []string) error {
+	return dataset.AssignRoles(t, dims, measures)
+}
+
+// NewCatalog returns an empty SQL catalog.
+func NewCatalog() *Catalog { return sql.NewCatalog() }
+
+// Query runs one SQL statement against a single table.
+func Query(t *Table, query string) (*Table, error) {
+	c := sql.NewCatalog()
+	c.Register(t)
+	return c.Query(query)
+}
+
+// StandardFeatureNames returns the eight built-in utility feature names in
+// their canonical order: KL, EMD, L1, L2, MAX_DIFF, USABILITY, ACCURACY,
+// P_VALUE.
+func StandardFeatureNames() []string { return feature.StandardRegistry().Names() }
+
+// StaticTopK is the classical one-shot recommender ViewSeeker improves on
+// (SeeDB-style): it ranks every view by a single fixed utility feature —
+// no interaction, no learning — and returns the top k. It exists both as
+// a baseline for comparisons and for callers who already know their
+// utility function. featureName is one of StandardFeatureNames.
+func StaticTopK(table *Table, query, featureName string, k int) ([]View, error) {
+	if k <= 0 {
+		k = 10
+	}
+	target, err := Query(table, query)
+	if err != nil {
+		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
+	}
+	if target.NumRows() == 0 {
+		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
+	}
+	target.Name = table.Name + "_dq"
+	gen, err := view.NewGenerator(table, target, view.SpaceConfig{})
+	if err != nil {
+		return nil, err
+	}
+	registry := feature.StandardRegistry()
+	fi := registry.Index(featureName)
+	if fi < 0 {
+		return nil, fmt.Errorf("viewseeker: unknown utility feature %q (want one of %v)",
+			featureName, registry.Names())
+	}
+	matrix, err := feature.Compute(gen, registry)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ss := make([]scored, matrix.Len())
+	for i, row := range matrix.Rows {
+		ss[i] = scored{i, row[fi]}
+	}
+	sort.SliceStable(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].idx < ss[b].idx
+	})
+	if k > len(ss) {
+		k = len(ss)
+	}
+	out := make([]View, k)
+	for i := 0; i < k; i++ {
+		out[i] = View{Index: ss[i].idx, Spec: gen.Specs()[ss[i].idx], Score: ss[i].score}
+	}
+	return out, nil
+}
+
+// Options configures a Seeker. The zero value follows the paper's testbed
+// (Table 1) defaults.
+type Options struct {
+	// K is the recommendation size (default 10).
+	K int
+	// M is how many views each iteration presents (default 1).
+	M int
+	// Aggs overrides the aggregate set (default COUNT/SUM/AVG/MIN/MAX).
+	Aggs []string
+	// BinCounts are the bin configurations for numeric dimensions
+	// (default {4}; the paper's SYN testbed uses {3, 4}).
+	BinCounts []int
+	// EqualDepth switches numeric dimensions to equal-depth (quantile)
+	// binning, which keeps skewed dimensions readable.
+	EqualDepth bool
+	// Alpha < 1 enables the optimisation: the offline pass computes
+	// utility features on an Alpha fraction of the data and refines
+	// incrementally during the session (default 1 = exact).
+	Alpha float64
+	// Strategy names the main-phase query strategy: "uncertainty"
+	// (default), "random", "committee" or "density".
+	Strategy string
+	// Seed drives the strategy's and cold start's randomness.
+	Seed int64
+	// ExtraFeatures appends custom utility components to the standard
+	// eight (Section 3.1: "users may customise the utility features").
+	ExtraFeatures []Feature
+	// Quadratic additionally registers all pairwise products of the base
+	// features (standard + extra), letting the linear estimator capture
+	// multiplicative utility functions such as u* = EMD·KL that Eq. 4's
+	// linear form cannot represent. It grows the feature count from n to
+	// n + n(n+1)/2.
+	Quadratic bool
+}
+
+// View is one recommended or presented view with its current score.
+type View struct {
+	Index int
+	Spec  Spec
+	Score float64
+}
+
+// Seeker is an interactive recommendation session over one dataset and
+// one exploration query.
+type Seeker struct {
+	ref      *Table
+	target   *Table
+	gen      *view.Generator
+	registry *feature.Registry
+	matrix   *feature.Matrix
+	inner    *core.Seeker
+}
+
+// New builds a session: query carves the exploration subset DQ out of the
+// table, the view space is enumerated over the table's dimension/measure
+// roles, and the offline feature pass runs (on an α-sample when
+// Options.Alpha < 1).
+func New(table *Table, query string, opts Options) (*Seeker, error) {
+	if table == nil {
+		return nil, fmt.Errorf("viewseeker: nil table")
+	}
+	target, err := Query(table, query)
+	if err != nil {
+		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
+	}
+	if target.NumRows() == 0 {
+		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
+	}
+	target.Name = table.Name + "_dq"
+	return NewFromTables(table, target, opts)
+}
+
+// NewFromTables builds a session from an explicit reference table and
+// target subset (for callers that produce DQ by other means).
+func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
+	gen, err := view.NewGenerator(ref, target, view.SpaceConfig{
+		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	registry := feature.StandardRegistry()
+	for _, f := range opts.ExtraFeatures {
+		if err := registry.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Quadratic {
+		if err := feature.AddQuadratic(registry); err != nil {
+			return nil, err
+		}
+	}
+	var matrix *feature.Matrix
+	withRefinement := false
+	if opts.Alpha > 0 && opts.Alpha < 1 {
+		matrix, err = feature.ComputePartial(gen, registry, opts.Alpha)
+		withRefinement = true
+	} else {
+		matrix, err = feature.Compute(gen, registry)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var strategy active.Strategy
+	switch opts.Strategy {
+	case "", "uncertainty":
+		strategy = &active.Uncertainty{}
+	case "random":
+		strategy = &active.Random{Seed: opts.Seed}
+	case "committee":
+		strategy = &active.Committee{Seed: opts.Seed}
+	case "density":
+		strategy = &active.DensityWeighted{}
+	default:
+		return nil, fmt.Errorf("viewseeker: unknown strategy %q", opts.Strategy)
+	}
+	inner, err := core.NewSeeker(matrix, core.Config{
+		K: opts.K, M: opts.M, Strategy: strategy, ColdStartSeed: opts.Seed,
+	}, withRefinement)
+	if err != nil {
+		return nil, err
+	}
+	return &Seeker{ref: ref, target: target, gen: gen, registry: registry, matrix: matrix, inner: inner}, nil
+}
+
+// Reference returns the full dataset DR.
+func (s *Seeker) Reference() *Table { return s.ref }
+
+// Target returns the exploration subset DQ.
+func (s *Seeker) Target() *Table { return s.target }
+
+// NumViews returns the view-space size.
+func (s *Seeker) NumViews() int { return s.matrix.Len() }
+
+// Specs returns the enumerated view space.
+func (s *Seeker) Specs() []Spec { return s.gen.Specs() }
+
+// FeatureNames returns the active utility feature names, in weight order.
+func (s *Seeker) FeatureNames() []string { return s.registry.Names() }
+
+// Next returns the single next view to label. It is a convenience wrapper
+// around NextViews for the default M = 1.
+func (s *Seeker) Next() (View, error) {
+	vs, err := s.NextViews()
+	if err != nil {
+		return View{}, err
+	}
+	if len(vs) == 0 {
+		return View{}, fmt.Errorf("viewseeker: every view is labelled")
+	}
+	return vs[0], nil
+}
+
+// NextViews returns the next batch of views to label (cold start first,
+// then the configured query strategy). Empty when everything is labelled.
+func (s *Seeker) NextViews() ([]View, error) {
+	idxs, err := s.inner.NextViews()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]View, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.viewAt(idx)
+	}
+	return out, nil
+}
+
+func (s *Seeker) viewAt(idx int) View {
+	return View{Index: idx, Spec: s.gen.Specs()[idx], Score: s.inner.Predict(idx)}
+}
+
+// Feedback records the user's 0–1 interest label for a view and refits
+// the utility estimator.
+func (s *Seeker) Feedback(index int, label float64) error {
+	return s.inner.Feedback(index, label)
+}
+
+// NumLabels returns how many labels have been given.
+func (s *Seeker) NumLabels() int { return s.inner.NumLabels() }
+
+// TopK returns the current top-k recommendation, best first.
+func (s *Seeker) TopK() []View {
+	idxs := s.inner.TopK()
+	out := make([]View, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.viewAt(idx)
+	}
+	return out
+}
+
+// TopKDiverse returns a diversity-aware top-k (DiVE-style): views are
+// selected by Maximal Marginal Relevance, trading predicted utility
+// against similarity to already-selected views. lambda = 1 reproduces
+// TopK; lower values diversify harder.
+func (s *Seeker) TopKDiverse(lambda float64) ([]View, error) {
+	scores := make([]float64, s.NumViews())
+	for i := range scores {
+		scores[i] = s.inner.Predict(i)
+	}
+	k := len(s.inner.TopK())
+	idxs, err := diversify.MMR(scores, s.matrix.Rows, k, lambda)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]View, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.viewAt(idx)
+	}
+	return out, nil
+}
+
+// Score returns the estimator's current utility prediction for one view.
+func (s *Seeker) Score(index int) float64 { return s.inner.Predict(index) }
+
+// SQL returns the GROUP BY query that computes one view over the
+// reference table — handy for exporting recommendations to other tools.
+func (s *Seeker) SQL(index int) (string, error) {
+	if index < 0 || index >= s.NumViews() {
+		return "", fmt.Errorf("viewseeker: view %d out of range [0, %d)", index, s.NumViews())
+	}
+	spec := s.gen.Specs()[index]
+	return spec.SQL(s.ref.Name, s.gen.Layout(spec)), nil
+}
+
+// Weights returns the learned utility-function composition: feature name →
+// weight (Eq. 4), plus the intercept. Empty before the first feedback.
+func (s *Seeker) Weights() (map[string]float64, float64) {
+	w, b := s.inner.Weights()
+	if w == nil {
+		return nil, 0
+	}
+	out := make(map[string]float64, len(w))
+	for i, name := range s.registry.Names() {
+		out[name] = w[i]
+	}
+	return out, b
+}
+
+// Save writes the session's labelling history as JSON. Together with the
+// same table, query and options, it reconstructs the session exactly (the
+// estimators are deterministic functions of the labels).
+func (s *Seeker) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s.inner.State())
+}
+
+// Load replays a saved session into this (fresh) one.
+func (s *Seeker) Load(r io.Reader) error {
+	var st core.SessionState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("viewseeker: decoding session: %w", err)
+	}
+	return s.inner.Restore(st)
+}
+
+// Pair executes one view's target/reference histogram pair on the full
+// data (for rendering or custom analysis).
+func (s *Seeker) Pair(index int) (*Pair, error) {
+	if index < 0 || index >= s.NumViews() {
+		return nil, fmt.Errorf("viewseeker: view %d out of range [0, %d)", index, s.NumViews())
+	}
+	return s.gen.Pair(s.gen.Specs()[index])
+}
+
+// Render returns an ASCII rendering of one view's target vs reference bar
+// charts.
+func (s *Seeker) Render(index int) (string, error) {
+	p, err := s.Pair(index)
+	if err != nil {
+		return "", err
+	}
+	return p.Render(0), nil
+}
+
+// Explain returns a short, ranked plain-text explanation of what makes one
+// view notable (outstanding bars, trend reversals, statistical
+// significance), up to max bullet points (0 = all).
+func (s *Seeker) Explain(index, max int) (string, error) {
+	p, err := s.Pair(index)
+	if err != nil {
+		return "", err
+	}
+	return explain.Summarize(p, max)
+}
