@@ -561,3 +561,51 @@ func BenchmarkAblationLabelNoise(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOfflineParallel measures the parallelised offline phase on the
+// SYN testbed: the exact feature matrix for the whole view space computed
+// with 1, 2, 4, and 8 workers. A fresh generator per iteration keeps the
+// scan caches cold so each op pays the full offline cost. Before timing,
+// it asserts the 8-worker matrix is bit-identical to the sequential one —
+// parallelism must never change the numbers.
+func BenchmarkOfflineParallel(b *testing.B) {
+	tb := benchSYN(b)
+	newGen := func() *view.Generator {
+		gen, err := tb.NewGeneratorLike()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return gen
+	}
+	seq, err := feature.ComputeWorkers(newGen(), tb.Registry, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := feature.ComputeWorkers(newGen(), tb.Registry, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if seq.Len() != par.Len() {
+		b.Fatalf("matrix sizes differ: %d vs %d", seq.Len(), par.Len())
+	}
+	for i := range seq.Rows {
+		for j := range seq.Rows[i] {
+			if seq.Rows[i][j] != par.Rows[i][j] {
+				b.Fatalf("row %d feature %d: workers=1 %v != workers=8 %v",
+					i, j, seq.Rows[i][j], par.Rows[i][j])
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				gen := newGen()
+				b.StartTimer()
+				if _, err := feature.ComputeWorkers(gen, tb.Registry, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 		query     = flag.String("query", "", "SQL query selecting the exploration subset DQ (default: the dataset's canonical query)")
 		k         = flag.Int("k", 5, "recommendation size")
 		alpha     = flag.Float64("alpha", 1.0, "partial-data ratio for the offline feature pass (<1 enables incremental refinement)")
+		workers   = flag.Int("workers", 0, "offline-phase and refinement parallelism (0 = all CPUs, 1 = sequential)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		maxIters  = flag.Int("max-iters", 30, "maximum labelling iterations")
 		simulateF = flag.Int("simulate", 0, "drive the session with Table 2 ideal utility function #N (1-11) instead of stdin")
@@ -54,7 +55,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "viewseeker: -chart must be bar or line, got %q\n", *chart)
 		os.Exit(1)
 	}
-	if err := run(table, *query, *k, *alpha, *seed, *maxIters, *simulateF, *savePath, *loadPath, *chart); err != nil {
+	if err := run(table, *query, *k, *alpha, *workers, *seed, *maxIters, *simulateF, *savePath, *loadPath, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "viewseeker:", err)
 		os.Exit(1)
 	}
@@ -98,8 +99,8 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(table *viewseeker.Table, query string, k int, alpha float64, seed int64, maxIters, simulate int, savePath, loadPath, chart string) error {
-	opts := viewseeker.Options{K: k, Alpha: alpha, Seed: seed}
+func run(table *viewseeker.Table, query string, k int, alpha float64, workers int, seed int64, maxIters, simulate int, savePath, loadPath, chart string) error {
+	opts := viewseeker.Options{K: k, Alpha: alpha, Seed: seed, Workers: workers}
 	s, err := viewseeker.New(table, query, opts)
 	if err != nil {
 		return err
@@ -145,7 +146,7 @@ func run(table *viewseeker.Table, query string, k int, alpha float64, seed int64
 		// through a throwaway exact session when alpha < 1.
 		exactSeeker := s
 		if alpha < 1 {
-			exactSeeker, err = viewseeker.New(table, query, viewseeker.Options{K: k, Seed: seed})
+			exactSeeker, err = viewseeker.New(table, query, viewseeker.Options{K: k, Seed: seed, Workers: workers})
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,8 @@
 package active
 
 import (
+	"sort"
+
 	"viewseeker/internal/ml"
 )
 
@@ -39,11 +41,19 @@ func (u *Uncertainty) Select(rows [][]float64, labeled map[int]float64, m int) (
 	if threshold <= 0 {
 		threshold = 0.5
 	}
+	// Train in sorted index order: ranging over the map feeds the logistic
+	// fit in random order, and its gradient descent is order-sensitive, so
+	// identical seeds could select different views run-to-run.
+	trainIdx := make([]int, 0, len(labeled))
+	for i := range labeled {
+		trainIdx = append(trainIdx, i)
+	}
+	sort.Ints(trainIdx)
 	var x [][]float64
 	var y []float64
-	for i, label := range labeled {
+	for _, i := range trainIdx {
 		x = append(x, rows[i])
-		if label >= threshold {
+		if labeled[i] >= threshold {
 			y = append(y, 1)
 		} else {
 			y = append(y, 0)

@@ -40,6 +40,12 @@ type Config struct {
 	// low-ranked views never get their exact features computed, so the cap
 	// must be small relative to the view space (default 2·K + M).
 	RefineCap int
+	// Workers bounds how many rough rows the refiner refreshes
+	// concurrently per iteration: more workers hide more exact
+	// recomputation inside the same per-iteration latency budget. ≤ 0
+	// selects runtime.NumCPU(); 1 forces sequential refinement (required
+	// when custom utility features are not safe for concurrent use).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -48,6 +48,7 @@ func NewSeeker(m *feature.Matrix, cfg Config, withRefinement bool) (*Seeker, err
 	}
 	if withRefinement {
 		s.refiner = optimize.NewRefiner(m)
+		s.refiner.Workers = cfg.Workers
 	}
 	return s, nil
 }

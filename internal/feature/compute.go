@@ -2,8 +2,8 @@ package feature
 
 import (
 	"fmt"
-	"runtime"
 
+	"viewseeker/internal/par"
 	"viewseeker/internal/view"
 )
 
@@ -21,9 +21,22 @@ type Matrix struct {
 }
 
 // Compute builds the matrix over the full data: the unoptimised offline
-// phase of ViewSeeker.
+// phase of ViewSeeker, parallelised over all CPUs. Use ComputeWorkers to
+// control the fan-out explicitly.
 func Compute(g *view.Generator, r *Registry) (*Matrix, error) {
-	return computeMatrix(g, r, nil, true)
+	return ComputeWorkers(g, r, 0)
+}
+
+// ComputeWorkers is Compute with an explicit worker count: feature vectors
+// (and the layout scans beneath them) fan out over at most workers
+// goroutines. workers ≤ 0 selects runtime.NumCPU(); workers == 1 is the
+// fully sequential path. The resulting matrix is bit-identical across
+// worker counts — every row is a pure function of its view's scan
+// statistics, which are computed single-threaded per layout. Custom
+// features registered on r must be safe for concurrent use when
+// workers != 1 (the standard eight are pure).
+func ComputeWorkers(g *view.Generator, r *Registry, workers int) (*Matrix, error) {
+	return computeMatrix(g, r, nil, true, workers)
 }
 
 // ComputePartial builds the matrix from a uniform α-sample of the
@@ -31,18 +44,28 @@ func Compute(g *view.Generator, r *Registry) (*Matrix, error) {
 // target subset DQ is always scanned exactly: it is a fraction of a
 // percent of the data, so sampling it would add noise without saving
 // meaningful work. Rows are marked inexact; RefreshRow upgrades them on
-// demand.
+// demand. Like Compute it parallelises over all CPUs; see
+// ComputePartialWorkers.
 func ComputePartial(g *view.Generator, r *Registry, alpha float64) (*Matrix, error) {
+	return ComputePartialWorkers(g, r, alpha, 0)
+}
+
+// ComputePartialWorkers is ComputePartial with an explicit worker count,
+// with the same semantics and determinism guarantee as ComputeWorkers (the
+// α-sample is a deterministic stride, so sampled matrices are also
+// bit-identical across worker counts).
+func ComputePartialWorkers(g *view.Generator, r *Registry, alpha float64, workers int) (*Matrix, error) {
 	if alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("feature: alpha must be in (0, 1], got %g", alpha)
 	}
 	if alpha == 1 {
-		return Compute(g, r)
+		return ComputeWorkers(g, r, workers)
 	}
-	return computeMatrix(g, r, g.Ref.SampleRows(alpha), false)
+	return computeMatrix(g, r, g.Ref.SampleRows(alpha), false, workers)
 }
 
-func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool) (*Matrix, error) {
+func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool, workers int) (*Matrix, error) {
+	workers = par.Resolve(workers)
 	specs := g.Specs()
 	m := &Matrix{
 		Specs:    specs,
@@ -53,27 +76,36 @@ func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool) (*
 		registry: r,
 	}
 	// Exact passes go through the generator's persistent caches so later
-	// RefreshRow calls (a no-op here, but uniform) share the same scans —
-	// warmed concurrently, since full-data layout scans dominate the
-	// offline phase and are independent. Sampled passes get run-scoped
-	// caches.
+	// RefreshRow calls (a no-op here, but uniform) share the same scans;
+	// sampled passes get run-scoped caches. Both warm their layout scans
+	// concurrently first — full-data scans dominate the offline phase and
+	// are independent per (table, layout) — then fan the per-view feature
+	// vectors out over the same worker budget.
 	pairOf := g.Pair
 	if refRows != nil {
-		pairOf = g.NewSampledRun(refRows, nil).Pair
-	} else if err := g.Warm(runtime.NumCPU()); err != nil {
+		run := g.NewSampledRun(refRows, nil)
+		if err := run.Warm(workers); err != nil {
+			return nil, err
+		}
+		pairOf = run.Pair
+	} else if err := g.Warm(workers); err != nil {
 		return nil, err
 	}
-	for i, s := range specs {
-		p, err := pairOf(s)
+	err := par.ForEach(len(specs), workers, func(i int) error {
+		p, err := pairOf(specs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vec, err := r.Vector(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Rows[i] = vec
 		m.Exact[i] = exact
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"viewseeker/internal/feature"
+	"viewseeker/internal/par"
 )
 
 // Clock abstracts time for deterministic tests.
@@ -25,6 +26,13 @@ type Refiner struct {
 	// least this many rows are refreshed per Refine call while any remain
 	// (default 1).
 	MinPerCall int
+	// Workers bounds how many rows refresh concurrently per batch: the
+	// narrow scans behind RefreshRow are independent, so fanning them out
+	// hides more exact recomputation inside the same latency budget. ≤ 0
+	// selects runtime.NumCPU(); 1 refreshes strictly sequentially (the
+	// pre-parallel behaviour, also required when custom utility features
+	// are not safe for concurrent use).
+	Workers int
 }
 
 // NewRefiner wraps a matrix.
@@ -34,9 +42,12 @@ func NewRefiner(m *feature.Matrix) *Refiner { return &Refiner{Matrix: m} }
 func (r *Refiner) Done() bool { return r.Matrix.AllExact() }
 
 // Refine refreshes rows in the given priority order (highest priority
-// first) until the budget elapses or everything is exact. It returns the
-// number of rows refreshed. Rows already exact cost nothing and are
-// skipped. A nil priority refreshes in index order.
+// first) until the budget elapses or everything is exact, fanning batches
+// of up to Workers rows out concurrently. It returns the number of rows
+// refreshed. Rows already exact (and duplicate priority entries) cost
+// nothing and are skipped. A nil priority refreshes in index order. The
+// budget is checked between batches, so at least MinPerCall rows — and at
+// most one extra batch — refresh even under a zero budget.
 func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 	if r.Matrix == nil {
 		return 0, fmt.Errorf("optimize: refiner has no matrix")
@@ -49,6 +60,7 @@ func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 	if minPer <= 0 {
 		minPer = 1
 	}
+	workers := par.Resolve(r.Workers)
 	if priority == nil {
 		priority = make([]int, r.Matrix.Len())
 		for i := range priority {
@@ -57,20 +69,38 @@ func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 	}
 	deadline := now().Add(budget)
 	refreshed := 0
-	for _, i := range priority {
-		if i < 0 || i >= r.Matrix.Len() {
-			return refreshed, fmt.Errorf("optimize: priority index %d out of range", i)
+	// Batches must not contain duplicate indices: two goroutines
+	// refreshing the same row would race on its matrix slots.
+	seen := make(map[int]bool)
+	batch := make([]int, 0, workers)
+	pos := 0
+	for pos < len(priority) {
+		batch = batch[:0]
+		for pos < len(priority) && len(batch) < workers {
+			i := priority[pos]
+			if i < 0 || i >= r.Matrix.Len() {
+				return refreshed, fmt.Errorf("optimize: priority index %d out of range", i)
+			}
+			pos++
+			if seen[i] || r.Matrix.Exact[i] {
+				continue
+			}
+			seen[i] = true
+			batch = append(batch, i)
 		}
-		if r.Matrix.Exact[i] {
-			continue
+		if len(batch) == 0 {
+			break
 		}
 		if refreshed >= minPer && !now().Before(deadline) {
 			break
 		}
-		if err := r.Matrix.RefreshRow(i); err != nil {
+		b := batch
+		if err := par.ForEach(len(b), workers, func(j int) error {
+			return r.Matrix.RefreshRow(b[j])
+		}); err != nil {
 			return refreshed, err
 		}
-		refreshed++
+		refreshed += len(batch)
 	}
 	return refreshed, nil
 }

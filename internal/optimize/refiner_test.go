@@ -76,6 +76,9 @@ func TestRefineZeroBudgetMakesMinimumProgress(t *testing.T) {
 func TestRefineHonoursPriorityOrder(t *testing.T) {
 	m := partialMatrix(t)
 	r := NewRefiner(m)
+	// Sequential path: with one-row batches the deadline is checked before
+	// every row, so the fake clock bounds the refresh count exactly.
+	r.Workers = 1
 	// Fake clock: every call advances 10ms, budget 25ms → ~3 refreshes.
 	now := time.Unix(0, 0)
 	r.Now = func() time.Time {
@@ -93,6 +96,37 @@ func TestRefineHonoursPriorityOrder(t *testing.T) {
 	}
 	if !m.Exact[last] {
 		t.Error("highest-priority row was not refreshed first")
+	}
+}
+
+func TestRefineParallelMatchesSequential(t *testing.T) {
+	seq, par := partialMatrix(t), partialMatrix(t)
+	rs := NewRefiner(seq)
+	rs.Workers = 1
+	rp := NewRefiner(par)
+	rp.Workers = 8
+	// Duplicate priority entries must be deduplicated (two goroutines
+	// refreshing one row would race on its matrix slots).
+	priority := []int{3, 3, 0, 1, 0, 2, 4}
+	if _, err := rs.Refine(priority, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rp.Refine(priority, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("parallel refine refreshed %d rows, want 5 (duplicates skipped)", n)
+	}
+	for i := range seq.Rows {
+		if seq.Exact[i] != par.Exact[i] {
+			t.Errorf("row %d exactness differs", i)
+		}
+		for j := range seq.Rows[i] {
+			if seq.Rows[i][j] != par.Rows[i][j] {
+				t.Errorf("row %d feature %d differs: %v vs %v", i, j, seq.Rows[i][j], par.Rows[i][j])
+			}
+		}
 	}
 }
 

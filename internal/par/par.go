@@ -1,0 +1,75 @@
+// Package par provides the tiny worker-pool primitives the offline phase
+// fans out on: bounded parallel for-loops with first-error semantics. It
+// exists so that feature computation, layout warming and incremental
+// refinement share one scheduling idiom instead of three hand-rolled
+// channel pools.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalises a Workers knob: values ≤ 0 select runtime.NumCPU(),
+// everything else passes through.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the first error observed. workers ≤ 1 degrades to
+// a plain sequential loop with no goroutines at all, so the workers=1 path
+// is bit-for-bit the pre-parallel behaviour. After an error, indices not
+// yet started are skipped; already-running calls finish before ForEach
+// returns.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

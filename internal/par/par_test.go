@@ -1,0 +1,78 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Errorf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var hits [57]atomic.Int32
+		err := ForEach(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := ForEach(1000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Scheduling after the failure must stop: far fewer than 1000 calls.
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("ran all %d calls despite early error", n)
+	}
+}
+
+func TestForEachSequentialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := ForEach(10, 1, func(i int) error {
+		calls++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Errorf("err = %v, calls = %d, want boom after 3", err, calls)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"viewseeker/internal/dataset"
+)
+
+// TestConcurrentSessions drives several full sessions against one server
+// sharing one table, all at once — create (with the parallel offline
+// phase), next, feedback, top — so `go test -race` exercises the
+// concurrency paths the parallel offline phase introduced. Sessions mix
+// exact and α-sampled offline passes; the sampled ones run incremental
+// refinement (focused scans through the generator's lazy caches) during
+// feedback.
+func TestConcurrentSessions(t *testing.T) {
+	ts := testServer(t)
+	const sessions = 6
+	var wg sync.WaitGroup
+	for n := 0; n < sessions; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			alpha := 0.0 // exact
+			if n%2 == 1 {
+				alpha = 0.3 // sampled + refinement
+			}
+			var sess sessionInfo
+			doJSON(t, "POST", ts.URL+"/api/sessions", createSessionRequest{
+				Table:   "diab",
+				Query:   "SELECT * FROM diab WHERE diag_group = 'diabetes'",
+				K:       3,
+				Alpha:   alpha,
+				Workers: 4,
+				Seed:    int64(n),
+			}, http.StatusCreated, &sess)
+			base := ts.URL + "/api/sessions/" + sess.ID
+			for i := 0; i < 4; i++ {
+				var next nextResponse
+				doJSON(t, "GET", base+"/next", nil, http.StatusOK, &next)
+				if next.Done {
+					t.Errorf("session %s done after only %d labels", sess.ID, i)
+					return
+				}
+				var top topResponse
+				doJSON(t, "POST", base+"/feedback", feedbackRequest{
+					Index: next.Index, Label: float64((i + n) % 2),
+				}, http.StatusOK, &top)
+				if top.NumLabels != i+1 {
+					t.Errorf("session %s: labels = %d, want %d", sess.ID, top.NumLabels, i+1)
+					return
+				}
+				doJSON(t, "GET", base+"/top", nil, http.StatusOK, &top)
+				if len(top.Top) == 0 {
+					t.Errorf("session %s: empty top after feedback", sess.ID)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// TestTopIsNeverNull asserts the top endpoint always serialises "top" as
+// a JSON array: topOf initialises the slice, so even an empty
+// recommendation (no appends) can never reach clients as "top": null.
+func TestTopIsNeverNull(t *testing.T) {
+	ts := testServer(t)
+	var sess sessionInfo
+	doJSON(t, "POST", ts.URL+"/api/sessions", createSessionRequest{
+		Table: "diab", Query: "SELECT * FROM diab WHERE diag_group = 'diabetes'", K: 3,
+	}, http.StatusCreated, &sess)
+	res, err := http.Get(ts.URL + "/api/sessions/" + sess.ID + "/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(res.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw["top"]) == 0 || raw["top"][0] != '[' {
+		t.Errorf(`"top" = %s, want a JSON array`, raw["top"])
+	}
+	// The struct-level guarantee behind it: marshalling a fresh topResponse
+	// with an initialised slice yields [], never null.
+	b, err := json.Marshal(topResponse{Top: []viewJSON{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty map[string]json.RawMessage
+	if err := json.Unmarshal(b, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if string(empty["top"]) != "[]" {
+		t.Errorf(`empty topResponse marshals "top" = %s, want []`, empty["top"])
+	}
+}
+
+// TestNextReportsDone labels every view of a tiny space and asserts the
+// next endpoint then returns the structured done response rather than an
+// error status.
+func TestNextReportsDone(t *testing.T) {
+	// A 2-column table gives 1 dim × 1 measure × 5 aggs = 5 views.
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "cat", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	table := dataset.NewTable("tiny", schema)
+	for i := 0; i < 40; i++ {
+		table.MustAppendRow(dataset.StringVal(string(rune('a'+i%4))), dataset.Float(float64(i)))
+	}
+	hs := httptest.NewServer(New(table).Handler())
+	t.Cleanup(hs.Close)
+	ts := hs.URL
+
+	var sess sessionInfo
+	doJSON(t, "POST", ts+"/api/sessions", createSessionRequest{
+		Table: "tiny", Query: "SELECT * FROM tiny WHERE cat = 'a'", K: 2,
+	}, http.StatusCreated, &sess)
+	base := ts + "/api/sessions/" + sess.ID
+	for i := 0; i < sess.NumViews; i++ {
+		var next nextResponse
+		doJSON(t, "GET", base+"/next", nil, http.StatusOK, &next)
+		if next.Done {
+			t.Fatalf("done after %d of %d labels", i, sess.NumViews)
+		}
+		doJSON(t, "POST", base+"/feedback", feedbackRequest{Index: next.Index, Label: float64(i % 2)}, http.StatusOK, nil)
+	}
+	var next nextResponse
+	doJSON(t, "GET", base+"/next", nil, http.StatusOK, &next)
+	if !next.Done {
+		t.Fatalf("exhausted space must report done, got %+v", next)
+	}
+	// The done response carries no stray view payload.
+	if next.Spec != "" {
+		t.Errorf("done response has spec %q", next.Spec)
+	}
+}

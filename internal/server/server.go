@@ -99,7 +99,10 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// createSessionRequest is the POST /api/sessions body.
+// createSessionRequest is the POST /api/sessions body. Workers bounds the
+// offline phase's parallelism for this session (0 = all CPUs); the offline
+// feature pass runs outside the server lock, so concurrent session
+// creations neither block each other nor the rest of the API.
 type createSessionRequest struct {
 	Table    string  `json:"table"`
 	Query    string  `json:"query"`
@@ -107,6 +110,7 @@ type createSessionRequest struct {
 	Alpha    float64 `json:"alpha"`
 	Strategy string  `json:"strategy"`
 	Seed     int64   `json:"seed"`
+	Workers  int     `json:"workers"`
 }
 
 type sessionInfo struct {
@@ -133,6 +137,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	seeker, err := viewseeker.New(table, req.Query, viewseeker.Options{
 		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
+		Workers: req.Workers,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -185,13 +190,28 @@ type viewJSON struct {
 	SQL   string  `json:"sql,omitempty"`
 }
 
+// nextResponse is the GET next body: either the next view to label, or
+// done=true once every view in the space has been labelled — a normal end
+// state, not an error, so clients can tell exhaustion from real conflicts.
+type nextResponse struct {
+	Done bool `json:"done"`
+	viewJSON
+}
+
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	v, err := sess.seeker.Next()
+	vs, err := sess.seeker.NextViews()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score})
+	if len(vs) == 0 {
+		writeJSON(w, http.StatusOK, nextResponse{Done: true})
+		return
+	}
+	v := vs[0]
+	writeJSON(w, http.StatusOK, nextResponse{
+		viewJSON: viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score},
+	})
 }
 
 // feedbackRequest is the POST feedback body.
@@ -219,7 +239,9 @@ type topResponse struct {
 }
 
 func (s *Server) topOf(sess *session) topResponse {
-	resp := topResponse{NumLabels: sess.seeker.NumLabels()}
+	// Top starts as an empty slice, not nil: before the first feedback the
+	// client must still receive "top": [], never "top": null.
+	resp := topResponse{NumLabels: sess.seeker.NumLabels(), Top: []viewJSON{}}
 	for _, v := range sess.seeker.TopK() {
 		vj := viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score}
 		if query, err := sess.seeker.SQL(v.Index); err == nil {

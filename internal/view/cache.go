@@ -1,0 +1,71 @@
+package view
+
+import "sync"
+
+// lazyCache is a concurrency-safe, lazily filled map with single-flight
+// semantics: when several goroutines ask for the same missing key, exactly
+// one runs the compute function and the rest block until its result is
+// ready. The Generator's scan caches use it so that whole-space feature
+// passes can fan out over goroutines without duplicating layout scans —
+// and so that later request-path refinement can run concurrently with
+// anything else touching the generator.
+//
+// The zero value is ready to use.
+type lazyCache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*lazyEntry[V]
+}
+
+type lazyEntry[V any] struct {
+	ready chan struct{} // closed once val/err are final
+	val   V
+	err   error
+}
+
+// get returns the cached value for k, computing it via compute on first
+// use. Failed computations are evicted so later callers may retry;
+// concurrent waiters of the failed flight observe its error.
+func (c *lazyCache[K, V]) get(k K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*lazyEntry[V])
+	}
+	if e, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &lazyEntry[V]{ready: make(chan struct{})}
+	c.entries[k] = e
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, k)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.val, e.err
+}
+
+// peek returns the value for k only if a computation for it has already
+// completed successfully; it never blocks and never triggers a compute.
+func (c *lazyCache[K, V]) peek(k K) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}

@@ -1,0 +1,110 @@
+package view
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGeneratorConcurrentAccess hammers one generator's lazy caches from
+// many goroutines mixing every access path — full pairs, focused pairs,
+// warming, and sampled runs — so `go test -race` proves the single-flight
+// caches hold up. Results must also match a sequential reference.
+func TestGeneratorConcurrentAccess(t *testing.T) {
+	ref, tgt := demoTables(t)
+	g, err := NewGenerator(ref, tgt, SpaceConfig{BinCounts: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference values from an identically configured generator.
+	gRef, err := NewGenerator(ref, tgt, SpaceConfig{BinCounts: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := g.Specs()
+	want := make([]*Pair, len(specs))
+	for i, s := range specs {
+		if want[i], err = gRef.Pair(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sampleRows := ref.SampleRows(0.3)
+	run := g.NewSampledRun(sampleRows, nil)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*4)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%3 == 0 {
+				if err := g.Warm(2); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if w%4 == 0 {
+				if err := run.Warm(2); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			for i, s := range specs {
+				p, err := g.Pair(s)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for b, v := range p.Target.Values {
+					if v != want[i].Target.Values[b] {
+						t.Errorf("concurrent pair %s bin %d = %v, want %v", s, b, v, want[i].Target.Values[b])
+					}
+				}
+				if _, err := g.PairFocused(s); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := run.Pair(s); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestSampledRunWarmMatchesLazy checks that a warmed sampled run produces
+// the same histograms as a lazily evaluated one.
+func TestSampledRunWarmMatchesLazy(t *testing.T) {
+	ref, tgt := demoTables(t)
+	g, err := NewGenerator(ref, tgt, SpaceConfig{BinCounts: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ref.SampleRows(0.2)
+	warmed := g.NewSampledRun(rows, nil)
+	if err := warmed.Warm(4); err != nil {
+		t.Fatal(err)
+	}
+	lazy := g.NewSampledRun(rows, nil)
+	for _, s := range g.Specs() {
+		pw, err := warmed.Pair(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := lazy.Pair(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range pw.Reference.Values {
+			if pw.Reference.Values[b] != pl.Reference.Values[b] {
+				t.Fatalf("%s bin %d: warmed %v != lazy %v", s, b, pw.Reference.Values[b], pl.Reference.Values[b])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewseeker/internal/dataset"
+	"viewseeker/internal/par"
 )
 
 // SpaceConfig controls view-space enumeration.
@@ -66,25 +67,32 @@ func Enumerate(t *dataset.Table, cfg SpaceConfig) ([]Spec, error) {
 // Generator executes view pairs over a reference table DR and a target
 // subset DQ, amortising one scan per (dimension, bins) layout across all
 // (measure, aggregate) combinations.
+//
+// All methods are safe for concurrent use: the lazy scan caches are
+// single-flight (see lazyCache), so a whole-space feature pass can fan out
+// over goroutines, and request-path refinement (PairFocused) can run
+// concurrently with anything else touching the generator, without
+// duplicating scans.
 type Generator struct {
 	Ref    *dataset.Table
 	Target *dataset.Table
 	cfg    SpaceConfig
 
-	specs    []Spec
-	layouts  map[layoutKey]*BinLayout
-	refStats map[layoutKey]*Stats // full-data reference stats cache
-	tgtStats map[layoutKey]*Stats // full-data target stats cache
+	specs   []Spec
+	layouts map[layoutKey]*BinLayout // immutable after construction
+
+	refStats lazyCache[layoutKey, *Stats] // full-data reference stats cache
+	tgtStats lazyCache[layoutKey, *Stats] // full-data target stats cache
 	// Focused (single-measure) full-data stats, used by incremental
 	// refresh so that upgrading one view costs one narrow scan instead of
 	// an all-measures layout scan.
-	refFocused map[measureKey]*Stats
-	tgtFocused map[measureKey]*Stats
+	refFocused lazyCache[measureKey, *Stats]
+	tgtFocused lazyCache[measureKey, *Stats]
 	// Lazily built dictionary-encoded dimension columns (row → bin) for
 	// full scans; narrow refresh scans of the same layout reuse them and
 	// skip the per-row bin lookup.
-	refBins map[layoutKey][]int32
-	tgtBins map[layoutKey][]int32
+	refBins lazyCache[layoutKey, []int32]
+	tgtBins lazyCache[layoutKey, []int32]
 }
 
 type layoutKey struct {
@@ -109,13 +117,7 @@ func NewGenerator(ref, target *dataset.Table, cfg SpaceConfig) (*Generator, erro
 	}
 	g := &Generator{
 		Ref: ref, Target: target, cfg: cfg, specs: specs,
-		layouts:    make(map[layoutKey]*BinLayout),
-		refStats:   make(map[layoutKey]*Stats),
-		tgtStats:   make(map[layoutKey]*Stats),
-		refFocused: make(map[measureKey]*Stats),
-		tgtFocused: make(map[measureKey]*Stats),
-		refBins:    make(map[layoutKey][]int32),
-		tgtBins:    make(map[layoutKey][]int32),
+		layouts: make(map[layoutKey]*BinLayout),
 	}
 	for _, s := range specs {
 		k := layoutKey{s.Dimension, s.Bins}
@@ -143,136 +145,72 @@ func (g *Generator) Specs() []Spec { return g.specs }
 // Layout returns the bin layout a spec uses.
 func (g *Generator) Layout(s Spec) *BinLayout { return g.layouts[layoutKey{s.Dimension, s.Bins}] }
 
+// warmJob names one (table, layout) scan a Warm pass front-loads.
+type warmJob struct {
+	t     *dataset.Table
+	cache *lazyCache[layoutKey, *Stats]
+	rows  []int
+	k     layoutKey
+}
+
+// runWarm executes warm jobs over a bounded worker pool. Scans are
+// independent per (table, layout) and single-flight in the caches, so
+// results are identical to the lazy path; warming just front-loads them
+// concurrently.
+func (g *Generator) runWarm(jobs []warmJob, workers int) error {
+	return par.ForEach(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		_, err := g.statsFor(j.t, j.cache, j.k, j.rows)
+		return err
+	})
+}
+
 // Warm computes the full-data bin indexes and group statistics of every
 // layout for both tables, fanning the scans out over the given number of
-// worker goroutines (≤ 1 means sequential). Scans are independent per
-// (table, layout), so results are identical to the lazy path; Warm just
-// front-loads them concurrently. It is not safe to call concurrently with
-// other generator methods.
+// worker goroutines (≤ 1 means sequential). Already-cached layouts cost
+// nothing. Like every generator method it is safe to call concurrently.
 func (g *Generator) Warm(workers int) error {
-	type job struct {
-		t        *dataset.Table
-		stats    map[layoutKey]*Stats
-		binCache map[layoutKey][]int32
-		k        layoutKey
-		// bins is the pre-existing cached bin index, resolved on this
-		// goroutine before the workers start: workers must not touch the
-		// cache maps while the collector below writes to them.
-		bins []int32
-	}
-	type result struct {
-		job   job
-		bins  []int32
-		stats *Stats
-		err   error
-	}
-	var jobs []job
+	jobs := make([]warmJob, 0, 2*len(g.layouts))
 	for k := range g.layouts {
-		if _, ok := g.refStats[k]; !ok {
-			jobs = append(jobs, job{g.Ref, g.refStats, g.refBins, k, g.refBins[k]})
-		}
-		if _, ok := g.tgtStats[k]; !ok {
-			jobs = append(jobs, job{g.Target, g.tgtStats, g.tgtBins, k, g.tgtBins[k]})
-		}
+		jobs = append(jobs, warmJob{g.Ref, &g.refStats, nil, k}, warmJob{g.Target, &g.tgtStats, nil, k})
 	}
-	if len(jobs) == 0 {
-		return nil
-	}
-	if workers <= 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	jobCh := make(chan job)
-	resCh := make(chan result, len(jobs))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for j := range jobCh {
-				r := result{job: j}
-				r.bins = j.bins
-				if r.bins == nil {
-					r.bins, r.err = BinIndex(j.t, g.layouts[j.k])
-				}
-				if r.err == nil {
-					r.stats, r.err = CollectStatsIndexed(j.t, g.layouts[j.k], j.t.Schema.Measures(), r.bins)
-				}
-				resCh <- r
-			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
-		}
-		close(jobCh)
-	}()
-	var firstErr error
-	for range jobs {
-		r := <-resCh
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
-		}
-		// Map writes stay on this goroutine.
-		r.job.binCache[r.job.k] = r.bins
-		r.job.stats[r.job.k] = r.stats
-	}
-	return firstErr
+	return g.runWarm(jobs, workers)
 }
 
 // binsFor returns (building lazily) the dictionary-encoded bin column of
 // one table under one layout.
-func (g *Generator) binsFor(t *dataset.Table, cache map[layoutKey][]int32, k layoutKey) ([]int32, error) {
-	if b, ok := cache[k]; ok {
-		return b, nil
-	}
-	b, err := BinIndex(t, g.layouts[k])
-	if err != nil {
-		return nil, err
-	}
-	cache[k] = b
-	return b, nil
+func (g *Generator) binsFor(t *dataset.Table, cache *lazyCache[layoutKey, []int32], k layoutKey) ([]int32, error) {
+	return cache.get(k, func() ([]int32, error) {
+		return BinIndex(t, g.layouts[k])
+	})
 }
 
 // statsFor returns the group statistics of one table under one layout,
 // scanning on first use and caching per layout — one scan answers every
 // (measure, aggregate) view on that dimension. Full scans (rows == nil)
 // go through the bin-index cache.
-func (g *Generator) statsFor(t *dataset.Table, cache map[layoutKey]*Stats, k layoutKey, rows []int) (*Stats, error) {
-	if s, ok := cache[k]; ok {
-		return s, nil
-	}
-	var s *Stats
-	var err error
-	if rows == nil {
-		binCache := g.refBins
-		if t == g.Target {
-			binCache = g.tgtBins
+func (g *Generator) statsFor(t *dataset.Table, cache *lazyCache[layoutKey, *Stats], k layoutKey, rows []int) (*Stats, error) {
+	return cache.get(k, func() (*Stats, error) {
+		if rows == nil {
+			binCache := &g.refBins
+			if t == g.Target {
+				binCache = &g.tgtBins
+			}
+			bins, err := g.binsFor(t, binCache, k)
+			if err != nil {
+				return nil, err
+			}
+			return CollectStatsIndexed(t, g.layouts[k], t.Schema.Measures(), bins)
 		}
-		var bins []int32
-		bins, err = g.binsFor(t, binCache, k)
-		if err != nil {
-			return nil, err
-		}
-		s, err = CollectStatsIndexed(t, g.layouts[k], t.Schema.Measures(), bins)
-	} else {
-		s, err = CollectStats(t, g.layouts[k], t.Schema.Measures(), rows)
-	}
-	if err != nil {
-		return nil, err
-	}
-	cache[k] = s
-	return s, nil
+		return CollectStats(t, g.layouts[k], t.Schema.Measures(), rows)
+	})
 }
 
 // Pair executes one view spec over the full reference and target data,
 // scanning (and caching) all measures of the spec's layout at once — the
 // right cost model for whole-space passes.
 func (g *Generator) Pair(s Spec) (*Pair, error) {
-	return g.pair(s, g.refStats, g.tgtStats, nil, nil)
+	return g.pair(s, &g.refStats, &g.tgtStats, nil, nil)
 }
 
 // PairFocused executes one view spec over the full data, scanning only the
@@ -286,30 +224,24 @@ func (g *Generator) PairFocused(s Spec) (*Pair, error) {
 	if !ok {
 		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
 	}
-	statsOf := func(t *dataset.Table, full map[layoutKey]*Stats, focused map[measureKey]*Stats, binCache map[layoutKey][]int32) (*Stats, error) {
-		if st, ok := full[k]; ok {
+	statsOf := func(t *dataset.Table, full *lazyCache[layoutKey, *Stats], focused *lazyCache[measureKey, *Stats], binCache *lazyCache[layoutKey, []int32]) (*Stats, error) {
+		if st, ok := full.peek(k); ok {
 			return st, nil
 		}
 		mk := measureKey{k, s.Measure}
-		if st, ok := focused[mk]; ok {
-			return st, nil
-		}
-		bins, err := g.binsFor(t, binCache, k)
-		if err != nil {
-			return nil, err
-		}
-		st, err := CollectStatsIndexed(t, layout, []string{s.Measure}, bins)
-		if err != nil {
-			return nil, err
-		}
-		focused[mk] = st
-		return st, nil
+		return focused.get(mk, func() (*Stats, error) {
+			bins, err := g.binsFor(t, binCache, k)
+			if err != nil {
+				return nil, err
+			}
+			return CollectStatsIndexed(t, layout, []string{s.Measure}, bins)
+		})
 	}
-	rs, err := statsOf(g.Ref, g.refStats, g.refFocused, g.refBins)
+	rs, err := statsOf(g.Ref, &g.refStats, &g.refFocused, &g.refBins)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := statsOf(g.Target, g.tgtStats, g.tgtFocused, g.tgtBins)
+	ts, err := statsOf(g.Target, &g.tgtStats, &g.tgtFocused, &g.tgtBins)
 	if err != nil {
 		return nil, err
 	}
@@ -320,28 +252,39 @@ func (g *Generator) PairFocused(s Spec) (*Pair, error) {
 // caches the sampled group statistics per layout so that a whole-space
 // feature pass costs one sampled scan per layout, not per view. refRows
 // and tgtRows restrict the reference and target scans (nil = all rows).
+// Like the generator itself, a run is safe for concurrent use.
 type SampledRun struct {
 	g                *Generator
 	refRows, tgtRows []int
-	refStats         map[layoutKey]*Stats
-	tgtStats         map[layoutKey]*Stats
+	refStats         lazyCache[layoutKey, *Stats]
+	tgtStats         lazyCache[layoutKey, *Stats]
 }
 
 // NewSampledRun starts a sampled pass.
 func (g *Generator) NewSampledRun(refRows, tgtRows []int) *SampledRun {
-	return &SampledRun{
-		g: g, refRows: refRows, tgtRows: tgtRows,
-		refStats: make(map[layoutKey]*Stats),
-		tgtStats: make(map[layoutKey]*Stats),
-	}
+	return &SampledRun{g: g, refRows: refRows, tgtRows: tgtRows}
 }
 
 // Pair executes one view spec over the run's samples.
 func (r *SampledRun) Pair(s Spec) (*Pair, error) {
-	return r.g.pair(s, r.refStats, r.tgtStats, r.refRows, r.tgtRows)
+	return r.g.pair(s, &r.refStats, &r.tgtStats, r.refRows, r.tgtRows)
 }
 
-func (g *Generator) pair(s Spec, refCache, tgtCache map[layoutKey]*Stats, refRows, tgtRows []int) (*Pair, error) {
+// Warm pre-scans every layout's sampled statistics for both tables over a
+// bounded worker pool — the sampled-pass counterpart of Generator.Warm, so
+// that parallel partial feature passes front-load their layout scans
+// concurrently too.
+func (r *SampledRun) Warm(workers int) error {
+	jobs := make([]warmJob, 0, 2*len(r.g.layouts))
+	for k := range r.g.layouts {
+		jobs = append(jobs,
+			warmJob{r.g.Ref, &r.refStats, r.refRows, k},
+			warmJob{r.g.Target, &r.tgtStats, r.tgtRows, k})
+	}
+	return r.g.runWarm(jobs, workers)
+}
+
+func (g *Generator) pair(s Spec, refCache, tgtCache *lazyCache[layoutKey, *Stats], refRows, tgtRows []int) (*Pair, error) {
 	k := layoutKey{s.Dimension, s.Bins}
 	if _, ok := g.layouts[k]; !ok {
 		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)

@@ -186,6 +186,12 @@ type Options struct {
 	// linear form cannot represent. It grows the feature count from n to
 	// n + n(n+1)/2.
 	Quadratic bool
+	// Workers bounds the parallelism of the offline phase (layout scans
+	// and per-view feature vectors) and of per-iteration incremental
+	// refinement. ≤ 0 selects runtime.NumCPU(); 1 forces the sequential
+	// path, which is required when ExtraFeatures closures are not safe for
+	// concurrent use. Results are bit-identical across worker counts.
+	Workers int
 }
 
 // View is one recommended or presented view with its current score.
@@ -248,10 +254,10 @@ func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
 	var matrix *feature.Matrix
 	withRefinement := false
 	if opts.Alpha > 0 && opts.Alpha < 1 {
-		matrix, err = feature.ComputePartial(gen, registry, opts.Alpha)
+		matrix, err = feature.ComputePartialWorkers(gen, registry, opts.Alpha, opts.Workers)
 		withRefinement = true
 	} else {
-		matrix, err = feature.Compute(gen, registry)
+		matrix, err = feature.ComputeWorkers(gen, registry, opts.Workers)
 	}
 	if err != nil {
 		return nil, err
@@ -271,6 +277,7 @@ func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
 	}
 	inner, err := core.NewSeeker(matrix, core.Config{
 		K: opts.K, M: opts.M, Strategy: strategy, ColdStartSeed: opts.Seed,
+		Workers: opts.Workers,
 	}, withRefinement)
 	if err != nil {
 		return nil, err
