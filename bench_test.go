@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"viewseeker"
 	"viewseeker/internal/active"
 	"viewseeker/internal/core"
 	"viewseeker/internal/dataset"
@@ -560,6 +561,43 @@ func BenchmarkAblationLabelNoise(b *testing.B) {
 			b.ReportMetric(total/float64(b.N), "precision")
 		})
 	}
+}
+
+// BenchmarkSessionWarmStart measures the offline-result cache on the
+// synthetic dataset: session creation cold (offline feature pass computed)
+// versus warm (served from the shared cache, as the server does it: the
+// reference table's content hash precomputed once at boot). A warm start
+// skips the exploration query, the layout scans and the whole feature
+// pass — the cold/warm wall-time ratio is the cache's speedup for a
+// second user on the same (table, query).
+func BenchmarkSessionWarmStart(b *testing.B) {
+	table := dataset.GenerateSYN(dataset.SYNConfig{Rows: 50_000, Seed: 1})
+	opts := viewseeker.Options{K: 10, BinCounts: []int{3, 4}}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := viewseeker.New(table, dataset.SYNQuery, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		warmOpts := opts
+		warmOpts.Cache = viewseeker.NewCache(4)
+		warmOpts.RefHash = viewseeker.HashTable(table)
+		if _, err := viewseeker.New(table, dataset.SYNQuery, warmOpts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := viewseeker.New(table, dataset.SYNQuery, warmOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !s.CacheHit() {
+				b.Fatal("warm session missed the cache")
+			}
+		}
+	})
 }
 
 // BenchmarkOfflineParallel measures the parallelised offline phase on the

@@ -2,29 +2,43 @@
 // type the exploration query, rate the charts the recommender shows, and
 // watch the top-k list converge — the browser edition of cmd/viewseeker.
 //
+// With -cache-dir the server is durable: offline-phase results are
+// snapshotted to disk so a restart (or a second session on the same table
+// and query) skips the feature computation, and every session's labelling
+// history is journalled so interactive sessions survive a restart with
+// identical recommendations.
+//
 // Usage:
 //
-//	serve [-addr :8080] [-dataset diab -rows 20000] [name=path.csv ...]
+//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [name=path.csv ...]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"viewseeker"
 	"viewseeker/internal/dataset"
 	"viewseeker/internal/server"
+	"viewseeker/internal/store"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
-		gen  = flag.String("dataset", "diab", "preload a generated dataset: diab, syn, nba or none")
-		rows = flag.Int("rows", 20_000, "rows for the generated dataset")
-		seed = flag.Int64("seed", 1, "generator seed")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gen      = flag.String("dataset", "diab", "preload a generated dataset: diab, syn, nba or none")
+		rows     = flag.Int("rows", 20_000, "rows for the generated dataset")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		cacheDir = flag.String("cache-dir", "", "directory for offline-result snapshots and the session journal (empty = in-memory cache only, sessions do not survive restarts)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -62,7 +76,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: no tables (use -dataset or name=path.csv arguments)")
 		os.Exit(1)
 	}
-	srv := server.New(tables...)
+
+	var opts server.Options
+	var journal *store.Journal
+	if *cacheDir != "" {
+		cache, err := store.Open(*cacheDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		journal, err = store.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		opts = server.Options{Cache: cache, Journal: journal}
+	}
+	srv := server.NewWithOptions(opts, tables...)
+	if journal != nil {
+		recs, err := store.ReadJournal(journal.Path())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: reading journal:", err)
+			os.Exit(1)
+		}
+		restored, err := srv.RestoreSessions(recs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: some sessions were not restored:", err)
+		}
+		if restored > 0 {
+			fmt.Printf("Restored %d session(s) from %s\n", restored, journal.Path())
+		}
+	}
+
 	fmt.Printf("ViewSeeker UI on http://%s (tables: ", *addr)
 	for i, t := range tables {
 		if i > 0 {
@@ -71,8 +116,36 @@ func main() {
 		fmt.Print(t.Name)
 	}
 	fmt.Println(")")
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight requests, then flush the session journal so the next
+	// boot restores every session.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("\nserve: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: closing journal:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve: session journal flushed")
 	}
 }

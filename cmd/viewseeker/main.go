@@ -36,6 +36,7 @@ func main() {
 		savePath  = flag.String("save", "", "write the session's labelling history to this JSON file on exit")
 		loadPath  = flag.String("resume", "", "resume a session saved with -save (requires identical data flags)")
 		chart     = flag.String("chart", "bar", "chart style for presented views: bar or line")
+		cacheDir  = flag.String("cache-dir", "", "directory for offline-result snapshots: a rerun on the same data and query skips the offline feature pass")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "viewseeker: -chart must be bar or line, got %q\n", *chart)
 		os.Exit(1)
 	}
-	if err := run(table, *query, *k, *alpha, *workers, *seed, *maxIters, *simulateF, *savePath, *loadPath, *chart); err != nil {
+	if err := run(table, *query, *k, *alpha, *workers, *seed, *maxIters, *simulateF, *savePath, *loadPath, *chart, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "viewseeker:", err)
 		os.Exit(1)
 	}
@@ -99,11 +100,25 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(table *viewseeker.Table, query string, k int, alpha float64, workers int, seed int64, maxIters, simulate int, savePath, loadPath, chart string) error {
+func run(table *viewseeker.Table, query string, k int, alpha float64, workers int, seed int64, maxIters, simulate int, savePath, loadPath, chart, cacheDir string) error {
 	opts := viewseeker.Options{K: k, Alpha: alpha, Seed: seed, Workers: workers}
+	if cacheDir != "" {
+		cache, err := viewseeker.OpenCache(cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	}
 	s, err := viewseeker.New(table, query, opts)
 	if err != nil {
 		return err
+	}
+	if opts.Cache != nil {
+		if s.CacheHit() {
+			fmt.Println("Offline phase: served from cache")
+		} else {
+			fmt.Println("Offline phase: computed and cached")
+		}
 	}
 	fmt.Printf("Exploring %q (%d rows), DQ = %q (%d rows)\n",
 		table.Name, table.NumRows(), query, s.Target().NumRows())

@@ -110,6 +110,36 @@ func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool, wo
 	return m, nil
 }
 
+// Rebuild reconstructs a Matrix from externally stored components — the
+// offline-result cache's hit path. The generator may be nil only when
+// every row is exact: RefreshRow never consults it then, whereas a partial
+// matrix needs it for incremental refinement. The rows become the
+// matrix's backing store (callers handing out shared data must copy
+// first; the store layer clones on every Get).
+func Rebuild(g *view.Generator, r *Registry, specs []view.Spec, rows [][]float64, exact []bool) (*Matrix, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("feature: rebuild needs a non-empty view space")
+	}
+	if len(rows) != len(specs) || len(exact) != len(specs) {
+		return nil, fmt.Errorf("feature: rebuild shape mismatch: %d specs, %d rows, %d exact flags",
+			len(specs), len(rows), len(exact))
+	}
+	names := r.Names()
+	for i, row := range rows {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("feature: rebuild row %d has %d features, want %d", i, len(row), len(names))
+		}
+	}
+	if g == nil {
+		for i, e := range exact {
+			if !e {
+				return nil, fmt.Errorf("feature: rebuilding inexact row %d requires a generator", i)
+			}
+		}
+	}
+	return &Matrix{Specs: specs, Names: names, Rows: rows, Exact: exact, gen: g, registry: r}, nil
+}
+
 // Len returns the number of views.
 func (m *Matrix) Len() int { return len(m.Rows) }
 

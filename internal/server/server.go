@@ -5,19 +5,45 @@
 package server
 
 import (
+	"crypto/rand"
 	_ "embed"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 
 	"viewseeker"
+	"viewseeker/internal/store"
 )
 
 //go:embed index.html
 var indexHTML []byte
+
+// Options configures the server's durability layer. The zero value is a
+// fully in-memory server with a session-shared offline-result cache.
+type Options struct {
+	// Cache is the offline-result store shared by every session; nil
+	// builds a default in-memory cache (sharing the offline phase across
+	// sessions is always safe — entries are content-addressed).
+	Cache *store.Cache
+	// Journal, when non-nil, receives every session lifecycle event
+	// (create, feedback, delete) so sessions survive a restart via
+	// RestoreSessions.
+	Journal *store.Journal
+	// MaxBodyBytes caps POST request bodies (default 1 MiB); oversized
+	// requests get 413.
+	MaxBodyBytes int64
+}
+
+// defaultMaxBodyBytes bounds POST bodies: session configs and feedback
+// records are tiny, so 1 MiB is generous headroom for long SQL queries
+// while keeping memory per request bounded.
+const defaultMaxBodyBytes = 1 << 20
 
 // Server hosts tables and interactive sessions. All methods are safe for
 // concurrent use; individual sessions serialise their own operations.
@@ -25,7 +51,14 @@ type Server struct {
 	mu       sync.Mutex
 	tables   map[string]*viewseeker.Table
 	sessions map[string]*session
-	nextID   int
+
+	// tableHash caches each hosted table's content hash: tables are fixed
+	// at construction, so warm session creation never rehashes the dataset.
+	tableHash map[string]string
+
+	cache   *store.Cache
+	journal *store.Journal
+	maxBody int64
 }
 
 type session struct {
@@ -35,16 +68,74 @@ type session struct {
 	query  string
 }
 
-// New builds a server hosting the given tables.
+// New builds a server hosting the given tables with default Options.
 func New(tables ...*viewseeker.Table) *Server {
+	return NewWithOptions(Options{}, tables...)
+}
+
+// NewWithOptions builds a server hosting the given tables.
+func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s := &Server{
-		tables:   make(map[string]*viewseeker.Table),
-		sessions: make(map[string]*session),
+		tables:    make(map[string]*viewseeker.Table),
+		sessions:  make(map[string]*session),
+		tableHash: make(map[string]string),
+		cache:     opts.Cache,
+		journal:   opts.Journal,
+		maxBody:   opts.MaxBodyBytes,
+	}
+	if s.cache == nil {
+		s.cache = store.NewCache(0)
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = defaultMaxBodyBytes
 	}
 	for _, t := range tables {
 		s.tables[t.Name] = t
+		s.tableHash[t.Name] = viewseeker.HashTable(t)
 	}
 	return s
+}
+
+// newSessionID returns an unguessable random session id: session ids are
+// the only credential guarding a session's state, so they must not be
+// enumerable the way sequential ids are.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; crashing beats
+		// silently handing out predictable ids.
+		panic(fmt.Sprintf("server: reading session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// journalAppend best-effort records one session event: journal write
+// failures must not fail user requests, but they do cost restart
+// durability, so they are logged.
+func (s *Server) journalAppend(rec store.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		log.Printf("server: journal append failed: %v", err)
+	}
+}
+
+// decodeBody decodes a size-capped JSON POST body, distinguishing an
+// oversized request (413) from a malformed one (400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
 }
 
 // Handler returns the HTTP handler serving the UI and the API.
@@ -120,16 +211,19 @@ type sessionInfo struct {
 	NumViews   int    `json:"numViews"`
 	NumLabels  int    `json:"numLabels"`
 	TargetRows int    `json:"targetRows"`
+	// Cached reports whether the session's offline phase was served from
+	// the shared offline-result cache instead of being computed.
+	Cached bool `json:"cached"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	table := s.tables[req.Table]
+	refHash := s.tableHash[req.Table]
 	s.mu.Unlock()
 	if table == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
@@ -137,18 +231,25 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	seeker, err := viewseeker.New(table, req.Query, viewseeker.Options{
 		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
-		Workers: req.Workers,
+		Workers: req.Workers, Cache: s.cache, RefHash: refHash,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
+	id := newSessionID()
+	for s.sessions[id] != nil { // 64-bit collisions are theoretical, but free to rule out
+		id = newSessionID()
+	}
 	sess := &session{seeker: seeker, table: req.Table, query: req.Query}
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.journalAppend(store.Record{
+		Op: store.OpCreate, Session: id, Table: req.Table, Query: req.Query,
+		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
+		Workers: req.Workers,
+	})
 	writeJSON(w, http.StatusCreated, s.infoOf(id, sess))
 }
 
@@ -156,8 +257,55 @@ func (s *Server) infoOf(id string, sess *session) sessionInfo {
 	return sessionInfo{
 		ID: id, Table: sess.table, Query: sess.query,
 		NumViews: sess.seeker.NumViews(), NumLabels: sess.seeker.NumLabels(),
-		TargetRows: sess.seeker.Target().NumRows(),
+		TargetRows: sess.seeker.Target().NumRows(), Cached: sess.seeker.CacheHit(),
 	}
+}
+
+// RestoreSessions rebuilds interactive sessions from journal records (see
+// store.ReadJournal): every session still live at the end of the log is
+// recreated under its journalled id — through the offline-result cache, so
+// repeated (table, query) pairs pay the offline phase once — and its
+// labelling history is replayed through the deterministic feedback path,
+// reconstructing estimator, top-k and weights exactly. Sessions whose
+// table is gone or whose replay fails are skipped and reported; one broken
+// record never blocks the rest of the boot.
+func (s *Server) RestoreSessions(recs []store.Record) (restored int, err error) {
+	var errs []error
+	for _, lg := range store.Replay(recs) {
+		c := lg.Create
+		s.mu.Lock()
+		table := s.tables[c.Table]
+		refHash := s.tableHash[c.Table]
+		s.mu.Unlock()
+		if table == nil {
+			errs = append(errs, fmt.Errorf("session %s: unknown table %q", c.Session, c.Table))
+			continue
+		}
+		seeker, serr := viewseeker.New(table, c.Query, viewseeker.Options{
+			K: c.K, Alpha: c.Alpha, Strategy: c.Strategy, Seed: c.Seed,
+			Workers: c.Workers, Cache: s.cache, RefHash: refHash,
+		})
+		if serr != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", c.Session, serr))
+			continue
+		}
+		replayOK := true
+		for i, fb := range lg.Feedback {
+			if ferr := seeker.Feedback(fb.View, fb.Label); ferr != nil {
+				errs = append(errs, fmt.Errorf("session %s: replaying label %d: %w", c.Session, i, ferr))
+				replayOK = false
+				break
+			}
+		}
+		if !replayOK {
+			continue
+		}
+		s.mu.Lock()
+		s.sessions[c.Session] = &session{seeker: seeker, table: c.Table, query: c.Query}
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, errors.Join(errs...)
 }
 
 // withSession resolves the {id} path segment and locks the session for
@@ -222,14 +370,14 @@ type feedbackRequest struct {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id string, sess *session) {
 	var req feedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := sess.seeker.Feedback(req.Index, req.Label); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.journalAppend(store.Record{Op: store.OpFeedback, Session: id, View: req.Index, Label: req.Label})
 	writeJSON(w, http.StatusOK, s.topOf(sess))
 }
 
@@ -304,5 +452,6 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
 	}
+	s.journalAppend(store.Record{Op: store.OpDelete, Session: id})
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"viewseeker/internal/view"
+)
+
+// OfflineResult is the offline phase's cached output: the enumerated view
+// space and the utility-feature matrix, with per-row exactness flags (an
+// α-sampled pass caches its rough rows; a session warmed from them still
+// refines on demand).
+type OfflineResult struct {
+	Specs []view.Spec
+	Names []string
+	Rows  [][]float64
+	Exact []bool
+	// Target, when non-empty, is the query-selected subset DQ in the
+	// internal/dataset binary encoding. Only query-addressed entries carry
+	// it: with the target stored alongside the matrix, a warm session skips
+	// query execution as well as the feature pass.
+	Target []byte
+}
+
+// AllExact reports whether every cached row was computed on the full data.
+func (r *OfflineResult) AllExact() bool {
+	for _, e := range r.Exact {
+		if !e {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the result's internal shape so that a corrupted or
+// hand-edited snapshot can never crash a session built from it.
+func (r *OfflineResult) validate() error {
+	if r == nil || len(r.Specs) == 0 {
+		return fmt.Errorf("store: empty offline result")
+	}
+	if len(r.Rows) != len(r.Specs) || len(r.Exact) != len(r.Specs) {
+		return fmt.Errorf("store: offline result has %d specs, %d rows, %d exact flags",
+			len(r.Specs), len(r.Rows), len(r.Exact))
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Names) {
+			return fmt.Errorf("store: offline result row %d has %d features, want %d",
+				i, len(row), len(r.Names))
+		}
+	}
+	return nil
+}
+
+// clone deep-copies the result. The cache clones on both Put and Get:
+// sessions refine matrix rows in place, and a shared slice would let one
+// session's refinement leak into the cache and into other sessions.
+func (r *OfflineResult) clone() *OfflineResult {
+	out := &OfflineResult{
+		Specs:  append([]view.Spec(nil), r.Specs...),
+		Names:  append([]string(nil), r.Names...),
+		Rows:   make([][]float64, len(r.Rows)),
+		Exact:  append([]bool(nil), r.Exact...),
+		Target: append([]byte(nil), r.Target...),
+	}
+	for i, row := range r.Rows {
+		out.Rows[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Cache is a content-addressed store of offline results with an in-memory
+// LRU front and an optional on-disk snapshot backend. All methods are safe
+// for concurrent use. Entries are immutable once stored: invalidation is
+// purely by addressing (any input change produces a different
+// fingerprint), so there is no explicit invalidation API.
+type Cache struct {
+	mu   sync.Mutex
+	cap  int
+	dir  string // "" = memory only
+	ll   *list.List
+	byFP map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	fp  string
+	res *OfflineResult
+}
+
+// DefaultCapacity is the in-memory LRU size used when a caller passes
+// capacity <= 0: entries are a few MB each at typical view-space sizes, so
+// a few dozen hot (table, query) pairs stay resident.
+const DefaultCapacity = 64
+
+// NewCache returns a memory-only cache holding at most capacity entries
+// (<= 0 selects DefaultCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{cap: capacity, ll: list.New(), byFP: make(map[string]*list.Element)}
+}
+
+// Open returns a cache whose entries are additionally snapshotted under
+// dir (one file per fingerprint), so a restarted process warms from disk:
+// an LRU-evicted or not-yet-loaded entry is transparently reloaded on Get.
+// The directory is created if missing.
+func Open(dir string, capacity int) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating cache dir: %w", err)
+	}
+	c := NewCache(capacity)
+	c.dir = dir
+	return c, nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Get returns the cached result for a fingerprint, consulting the disk
+// backend on a memory miss. The returned result is the caller's to mutate.
+func (c *Cache) Get(fp string) (*OfflineResult, bool) {
+	c.mu.Lock()
+	if el, ok := c.byFP[fp]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res.clone()
+		c.hits++
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	// Disk load happens outside the lock: decoding a snapshot is slow
+	// relative to a map hit and must not serialise unrelated sessions.
+	if c.dir != "" {
+		if res, err := readSnapshot(c.snapshotPath(fp), fp); err == nil {
+			c.mu.Lock()
+			c.insert(fp, res.clone())
+			c.hits++
+			c.mu.Unlock()
+			return res, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a result. The entry is deep-copied, snapshotted to disk when
+// a backend is configured, and may evict the least-recently-used entry
+// from memory (never from disk). A disk write failure leaves the memory
+// entry in place and is returned for logging; callers may ignore it — the
+// cache degrades to memory-only.
+func (c *Cache) Put(fp string, res *OfflineResult) error {
+	if err := res.validate(); err != nil {
+		return err
+	}
+	stored := res.clone()
+	c.mu.Lock()
+	c.insert(fp, stored)
+	c.mu.Unlock()
+	if c.dir != "" {
+		if err := writeSnapshot(c.snapshotPath(fp), fp, stored); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// insert adds or refreshes an entry; callers hold c.mu.
+func (c *Cache) insert(fp string, res *OfflineResult) {
+	if el, ok := c.byFP[fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byFP[fp] = c.ll.PushFront(&cacheEntry{fp: fp, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byFP, last.Value.(*cacheEntry).fp)
+		c.evictions++
+	}
+}
+
+func (c *Cache) snapshotPath(fp string) string {
+	return filepath.Join(c.dir, fp+".vscache")
+}
+
+// snapshot is the gob wire format of one disk entry, following the
+// internal/dataset binary conventions: a version field guards decoding and
+// the fingerprint is stored redundantly so a renamed or cross-copied file
+// cannot serve the wrong result.
+type snapshot struct {
+	Version     int
+	Fingerprint string
+	Result      OfflineResult
+}
+
+const snapshotVersion = 1
+
+func writeSnapshot(path, fp string, res *OfflineResult) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".vscache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	err = gob.NewEncoder(tmp).Encode(snapshot{Version: snapshotVersion, Fingerprint: fp, Result: *res})
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	// Atomic publish: a crash mid-write leaves only a temp file, never a
+	// truncated snapshot under the real name.
+	return os.Rename(tmp.Name(), path)
+}
+
+// readSnapshot loads and validates one disk entry. Any failure — missing
+// file, truncation, version skew, fingerprint mismatch, shape corruption —
+// quarantines the file (best effort) and reports an error; the caller
+// treats it as a miss and recomputes, never crashes.
+func readSnapshot(path, fp string) (*OfflineResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap snapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("store: decoding snapshot %s: %w", filepath.Base(path), err)
+	}
+	if snap.Version != snapshotVersion {
+		os.Remove(path)
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Fingerprint != fp {
+		os.Remove(path)
+		return nil, fmt.Errorf("store: snapshot fingerprint mismatch")
+	}
+	if err := snap.Result.validate(); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return &snap.Result, nil
+}

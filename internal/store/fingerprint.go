@@ -1,0 +1,184 @@
+// Package store persists the two kinds of server-side state the
+// interactive phases sit on: the offline phase's output (view layouts plus
+// the utility-feature matrix), kept in a content-addressed cache so a
+// second session over the same (table, query, configuration) skips the
+// offline pass entirely, and the interactive sessions themselves, kept as
+// an append-only journal of labelling events whose deterministic replay
+// reconstructs every estimator after a restart.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"math"
+
+	"viewseeker/internal/dataset"
+)
+
+// hashWriter wraps a hash with the length-prefixed primitives the
+// fingerprint scheme is built from. Every variable-length field is
+// preceded by its length so that adjacent fields can never alias
+// ("ab"+"c" vs "a"+"bc"). Writes accumulate in a buffer so that hashing a
+// million-row table costs large block updates, not one digest call per
+// cell.
+type hashWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+const hashFlushAt = 1 << 15
+
+func newHashWriter() *hashWriter {
+	return &hashWriter{h: sha256.New(), buf: make([]byte, 0, hashFlushAt+64)}
+}
+
+func (w *hashWriter) flush() {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *hashWriter) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+	if len(w.buf) >= hashFlushAt {
+		w.flush()
+	}
+}
+
+func (w *hashWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *hashWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.flush()
+	io.WriteString(w.h, s)
+}
+
+func (w *hashWriter) strs(ss []string) {
+	w.u64(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *hashWriter) sum() string {
+	w.flush()
+	return hex.EncodeToString(w.h.Sum(nil))
+}
+
+// HashTable returns a hex content hash of a table: schema (column names,
+// kinds, roles) plus every cell value including NULL positions. The table
+// name is deliberately excluded — two identically shaped tables with equal
+// contents enumerate the same view space and produce the same feature
+// matrix, so they share cache entries. Hashing is a single pass over the
+// typed column slices: orders of magnitude cheaper than the offline
+// feature pass it lets a caller skip.
+func HashTable(t *dataset.Table) string {
+	w := newHashWriter()
+	w.u64(uint64(t.NumRows()))
+	w.u64(uint64(len(t.Cols)))
+	for _, c := range t.Cols {
+		w.str(c.Def.Name)
+		w.u64(uint64(c.Def.Kind))
+		w.u64(uint64(c.Def.Role))
+		w.u64(uint64(len(c.Ints)))
+		for _, v := range c.Ints {
+			w.u64(uint64(v))
+		}
+		w.u64(uint64(len(c.Floats)))
+		for _, v := range c.Floats {
+			w.f64(v)
+		}
+		w.strs(c.Strs)
+		w.u64(uint64(len(c.Bools)))
+		for _, v := range c.Bools {
+			if v {
+				w.u64(1)
+			} else {
+				w.u64(0)
+			}
+		}
+		// NULL positions distinguish a zero cell from a missing one.
+		nulls := uint64(0)
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				nulls++
+			}
+		}
+		w.u64(nulls)
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				w.u64(uint64(i))
+			}
+		}
+	}
+	return w.sum()
+}
+
+// Key identifies one offline-phase computation: the inputs that fully
+// determine the enumerated view space and its feature matrix. Every field
+// participates in the fingerprint, so any change — one cell of either
+// table, the sampling ratio, the feature set, a bin configuration —
+// invalidates the cache entry by simply addressing a different one.
+type Key struct {
+	// RefHash and TargetHash are HashTable of the reference table DR and
+	// the query-selected subset DQ. Keying on the target's contents rather
+	// than the query text means two textually different queries selecting
+	// the same rows share an entry, and callers that build DQ without SQL
+	// (NewFromTables) cache just as well.
+	RefHash    string
+	TargetHash string
+	// Query, when set, addresses the entry by the exploration query's text
+	// instead of the target subset's contents. Query-addressed entries can
+	// carry the serialised target table, letting a warm session skip query
+	// execution entirely; the trade-off is that textually different but
+	// equivalent queries no longer share the entry, which is why both
+	// addressing modes coexist (a query-addressed miss still falls back to
+	// the content-addressed entry after the query runs).
+	Query string
+	// Alpha is the offline pass's sampling ratio, normalised so that every
+	// exact configuration (alpha <= 0 or >= 1) shares one entry.
+	Alpha float64
+	// Features are the registry's feature names in registry order.
+	Features []string
+	// Aggs, BinCounts and EqualDepth are the view-space enumeration
+	// parameters exactly as configured (nil and explicit defaults hash
+	// differently only if the caller spells them differently; the public
+	// facade always passes its resolved configuration).
+	Aggs       []string
+	BinCounts  []int
+	EqualDepth bool
+}
+
+// fingerprintVersion is bumped whenever the fingerprint encoding or the
+// meaning of any keyed field changes, orphaning all old entries.
+const fingerprintVersion = 1
+
+// Fingerprint returns the hex cache address of the key.
+func (k Key) Fingerprint() string {
+	w := newHashWriter()
+	w.u64(fingerprintVersion)
+	w.str(k.RefHash)
+	w.str(k.TargetHash)
+	w.str(k.Query)
+	alpha := k.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	w.f64(alpha)
+	w.strs(k.Features)
+	w.strs(k.Aggs)
+	w.u64(uint64(len(k.BinCounts)))
+	for _, b := range k.BinCounts {
+		w.u64(uint64(b))
+	}
+	if k.EqualDepth {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+	return w.sum()
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal record operations.
+const (
+	OpCreate   = "create"
+	OpFeedback = "feedback"
+	OpDelete   = "delete"
+)
+
+// Record is one journal entry: a session lifecycle event. Create records
+// carry the full session configuration; since selection and refinement are
+// deterministic functions of (configuration, labels), replaying a
+// session's create followed by its feedback records through a fresh seeker
+// reconstructs the estimator exactly.
+type Record struct {
+	Op      string `json:"op"`
+	Session string `json:"session"`
+
+	// Create fields.
+	Table    string  `json:"table,omitempty"`
+	Query    string  `json:"query,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Alpha    float64 `json:"alpha,omitempty"`
+	Strategy string  `json:"strategy,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+
+	// Feedback fields (no omitempty: view 0 and label 0 are meaningful).
+	View  int     `json:"view"`
+	Label float64 `json:"label"`
+}
+
+// Journal is an append-only log of session records, one JSON object per
+// line. Appends are atomic at the line level (a single write call each),
+// and ReadJournal tolerates a torn final line, so a crash mid-append loses
+// at most the record being written. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) an append-only journal at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal is closed")
+	}
+	_, err = j.f.Write(line)
+	return err
+}
+
+// Sync flushes appended records to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// ReadJournal loads every well-formed record from a journal file. A
+// missing file is an empty journal. Reading stops silently at the first
+// malformed line — by construction that is a torn final append from a
+// crash, and everything before it is intact.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break
+		}
+		switch rec.Op {
+		case OpCreate, OpFeedback, OpDelete:
+		default:
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil && len(out) == 0 {
+		return nil, fmt.Errorf("store: reading journal: %w", err)
+	}
+	return out, nil
+}
+
+// SessionLog is the collapsed journal state of one session that is still
+// live at the end of the log: its create record plus its feedback records
+// in arrival order.
+type SessionLog struct {
+	Create   Record
+	Feedback []Record
+}
+
+// Replay collapses a record stream into the live sessions' logs, in
+// creation order: deletes remove sessions, feedback for unknown (deleted
+// or never created) sessions is dropped, and a second create under an
+// existing id replaces the first — the log's last writer wins, matching
+// what the server it journals would have in memory.
+func Replay(recs []Record) []SessionLog {
+	byID := make(map[string]*SessionLog)
+	var order []string
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpCreate:
+			if _, exists := byID[rec.Session]; !exists {
+				order = append(order, rec.Session)
+			}
+			byID[rec.Session] = &SessionLog{Create: rec}
+		case OpFeedback:
+			if log, ok := byID[rec.Session]; ok {
+				log.Feedback = append(log.Feedback, rec)
+			}
+		case OpDelete:
+			delete(byID, rec.Session)
+		}
+	}
+	out := make([]SessionLog, 0, len(byID))
+	for _, id := range order {
+		if log, ok := byID[id]; ok {
+			out = append(out, *log)
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/view"
+)
+
+func testTable(t *testing.T, seed int64) *dataset.Table {
+	t.Helper()
+	return dataset.GenerateDIAB(dataset.DIABConfig{Rows: 500, Seed: seed})
+}
+
+func TestHashTableDeterministic(t *testing.T) {
+	a, b := testTable(t, 7), testTable(t, 7)
+	if HashTable(a) != HashTable(b) {
+		t.Fatal("identical tables hash differently")
+	}
+	if HashTable(a) == HashTable(testTable(t, 8)) {
+		t.Fatal("different tables share a hash")
+	}
+}
+
+func TestHashTableIgnoresName(t *testing.T) {
+	a, b := testTable(t, 7), testTable(t, 7)
+	b.Name = "renamed"
+	if HashTable(a) != HashTable(b) {
+		t.Fatal("renaming a table changed its content hash")
+	}
+}
+
+func TestHashTableSeesCellChanges(t *testing.T) {
+	a, b := testTable(t, 7), testTable(t, 7)
+	for _, c := range b.Cols {
+		if len(c.Ints) > 0 {
+			c.Ints[len(c.Ints)/2]++
+			break
+		}
+	}
+	if HashTable(a) == HashTable(b) {
+		t.Fatal("single-cell change not reflected in hash")
+	}
+}
+
+func baseKey() Key {
+	return Key{
+		RefHash: "r", TargetHash: "t", Alpha: 1,
+		Features: []string{"KL", "EMD"}, Aggs: []string{"COUNT"},
+		BinCounts: []int{4}, EqualDepth: false,
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := baseKey().Fingerprint()
+	mutations := map[string]Key{}
+	k := baseKey()
+	k.RefHash = "r2"
+	mutations["ref hash"] = k
+	k = baseKey()
+	k.TargetHash = "t2"
+	mutations["target hash"] = k
+	k = baseKey()
+	k.Alpha = 0.5
+	mutations["alpha"] = k
+	k = baseKey()
+	k.Features = []string{"KL"}
+	mutations["features"] = k
+	k = baseKey()
+	k.Features = []string{"EMD", "KL"}
+	mutations["feature order"] = k
+	k = baseKey()
+	k.Aggs = []string{"SUM"}
+	mutations["aggs"] = k
+	k = baseKey()
+	k.BinCounts = []int{3, 4}
+	mutations["bin counts"] = k
+	k = baseKey()
+	k.EqualDepth = true
+	mutations["equal depth"] = k
+	for name, mk := range mutations {
+		if mk.Fingerprint() == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+	// Field aliasing: moving a string across field boundaries must not
+	// produce the same digest.
+	a := Key{RefHash: "ab", TargetHash: "c"}
+	b := Key{RefHash: "a", TargetHash: "bc"}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("adjacent fields alias in the fingerprint")
+	}
+}
+
+func TestFingerprintNormalisesExactAlpha(t *testing.T) {
+	exact := baseKey()
+	for _, alpha := range []float64{0, 1, -3, 2.5} {
+		k := baseKey()
+		k.Alpha = alpha
+		if k.Fingerprint() != exact.Fingerprint() {
+			t.Errorf("alpha=%g fingerprints differently from the exact entry", alpha)
+		}
+	}
+}
+
+func testResult(n int) *OfflineResult {
+	res := &OfflineResult{Names: []string{"F1", "F2"}}
+	for i := 0; i < n; i++ {
+		res.Specs = append(res.Specs, view.Spec{Dimension: "d", Measure: "m", Agg: "COUNT", Bins: i})
+		res.Rows = append(res.Rows, []float64{float64(i), float64(i) * 2})
+		res.Exact = append(res.Exact, true)
+	}
+	return res
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	for _, fp := range []string{"a", "b", "c"} {
+		if err := c.Put(fp, testResult(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry missing")
+	}
+	// Touching "b" makes it most recent; inserting "d" must evict "c".
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("entry b missing")
+	}
+	if err := c.Put("d", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("c"); ok {
+		t.Error("recency not updated by Get: c should have been evicted before b")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("recently used entry b evicted")
+	}
+}
+
+func TestCacheIsolation(t *testing.T) {
+	c := NewCache(4)
+	orig := testResult(2)
+	if err := c.Put("fp", orig); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's copy after Put, and a returned copy after Get,
+	// must not leak into later Gets: sessions refine rows in place.
+	orig.Rows[0][0] = 999
+	got1, _ := c.Get("fp")
+	if got1.Rows[0][0] == 999 {
+		t.Fatal("Put did not copy its input")
+	}
+	got1.Rows[1][1] = -1
+	got1.Exact[0] = false
+	got2, _ := c.Get("fp")
+	if got2.Rows[1][1] == -1 || !got2.Exact[0] {
+		t.Fatal("Get handed out a shared entry")
+	}
+}
+
+func TestCacheRejectsMalformedResult(t *testing.T) {
+	c := NewCache(4)
+	bad := testResult(3)
+	bad.Rows = bad.Rows[:2]
+	if err := c.Put("fp", bad); err == nil {
+		t.Fatal("Put accepted a shape-mismatched result")
+	}
+	if _, ok := c.Get("fp"); ok {
+		t.Fatal("malformed result was stored")
+	}
+}
+
+func TestDiskSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult(5)
+	want.Exact[3] = false
+	if err := c1.Put("fp1", want); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory simulates a process restart:
+	// the entry must come back from disk, bit-identical.
+	c2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("fp1")
+	if !ok {
+		t.Fatal("entry not reloaded from disk")
+	}
+	if len(got.Specs) != 5 || got.Specs[2] != want.Specs[2] {
+		t.Fatalf("specs corrupted: %+v", got.Specs)
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("row %d feature %d: %v != %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	if got.Exact[3] || !got.Exact[0] {
+		t.Fatalf("exact flags corrupted: %v", got.Exact)
+	}
+}
+
+func TestCorruptedSnapshotIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("fp1", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fp1.vscache")
+	if err := os.WriteFile(path, []byte("not a gob snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("fp1"); ok {
+		t.Fatal("corrupted snapshot served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted snapshot not quarantined")
+	}
+	// The slot is reusable: a recompute repopulates it.
+	if err := c2.Put("fp1", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get("fp1"); !ok {
+		t.Fatal("repopulated snapshot not readable")
+	}
+}
+
+func TestSnapshotFingerprintMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("fp1", testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot copied under another fingerprint's name must not serve
+	// that fingerprint's reads.
+	data, err := os.ReadFile(filepath.Join(dir, "fp1.vscache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fp2.vscache"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("fp2"); ok {
+		t.Fatal("cross-named snapshot served as a hit")
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache(1)
+	c.Put("a", testResult(2))
+	c.Get("a")
+	c.Get("missing")
+	c.Put("b", testResult(2)) // evicts a
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 1 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, evictions)
+	}
+}

@@ -34,6 +34,13 @@ func (c SpaceConfig) binCounts() []int {
 	return c.BinCounts
 }
 
+// Normalized returns the config with its defaults made explicit, so two
+// spellings of the same space (nil vs the literal default set) enumerate,
+// compare and fingerprint identically.
+func (c SpaceConfig) Normalized() SpaceConfig {
+	return SpaceConfig{Aggs: c.aggs(), BinCounts: c.binCounts(), EqualDepth: c.EqualDepth}
+}
+
 // Enumerate lists every view spec over the table's dimension and measure
 // attributes: |A| × |M| × |F| specs for categorical data, times the number
 // of bin configurations for numeric dimensions (Eq. 1; the paper's factor

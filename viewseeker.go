@@ -18,10 +18,12 @@
 package viewseeker
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"viewseeker/internal/active"
 	"viewseeker/internal/core"
@@ -30,6 +32,7 @@ import (
 	"viewseeker/internal/explain"
 	"viewseeker/internal/feature"
 	"viewseeker/internal/sql"
+	"viewseeker/internal/store"
 	"viewseeker/internal/view"
 )
 
@@ -54,7 +57,24 @@ type (
 	Feature = feature.Feature
 	// Catalog maps table names to tables for SQL access.
 	Catalog = sql.Catalog
+	// Cache is a content-addressed store of offline-phase results (view
+	// space plus feature matrix), shared across sessions via Options.Cache.
+	Cache = store.Cache
 )
+
+// NewCache returns an in-memory offline-result cache holding at most
+// capacity entries (<= 0 selects the default).
+func NewCache(capacity int) *Cache { return store.NewCache(capacity) }
+
+// OpenCache returns an offline-result cache whose entries are additionally
+// snapshotted under dir, so a restarted process warms from disk.
+func OpenCache(dir string, capacity int) (*Cache, error) { return store.Open(dir, capacity) }
+
+// HashTable returns the content hash of a table as used by the offline
+// cache's fingerprints. Callers that host long-lived immutable tables (the
+// HTTP server does) can compute it once and pass it via Options.RefHash so
+// that every warm session skips rehashing the full dataset.
+func HashTable(t *Table) string { return store.HashTable(t) }
 
 // Role constants for AssignRoles.
 const (
@@ -192,6 +212,20 @@ type Options struct {
 	// path, which is required when ExtraFeatures closures are not safe for
 	// concurrent use. Results are bit-identical across worker counts.
 	Workers int
+	// Cache, when non-nil, consults and fills the offline-result store: a
+	// session whose fingerprint — table contents, query result contents,
+	// Alpha, feature names, aggregate and bin configuration — is already
+	// cached skips the offline feature pass entirely (CacheHit reports
+	// which path was taken). Note that ExtraFeatures participate in the
+	// fingerprint by name only: registering two different computations
+	// under one name aliases their cache entries.
+	Cache *Cache
+	// RefHash optionally supplies a precomputed HashTable of the reference
+	// table, sparing the cache lookup a full pass over the dataset. Only
+	// set it for tables that have not changed since the hash was taken: a
+	// stale value addresses the wrong cache entries and silently serves
+	// another dataset's view space. Ignored when Cache is nil.
+	RefHash string
 }
 
 // View is one recommended or presented view with its current score.
@@ -206,40 +240,35 @@ type View struct {
 type Seeker struct {
 	ref      *Table
 	target   *Table
-	gen      *view.Generator
+	specs    []Spec
 	registry *feature.Registry
 	matrix   *feature.Matrix
 	inner    *core.Seeker
+	cacheHit bool
+
+	// The generator is built lazily on an exact cache hit: recommendation
+	// needs only the cached matrix, so warm sessions defer the layout
+	// scans until something actually executes a view (Pair, Render, SQL).
+	spaceCfg view.SpaceConfig
+	genOnce  sync.Once
+	gen      *view.Generator
+	genErr   error
 }
 
-// New builds a session: query carves the exploration subset DQ out of the
-// table, the view space is enumerated over the table's dimension/measure
-// roles, and the offline feature pass runs (on an α-sample when
-// Options.Alpha < 1).
-func New(table *Table, query string, opts Options) (*Seeker, error) {
-	if table == nil {
-		return nil, fmt.Errorf("viewseeker: nil table")
-	}
-	target, err := Query(table, query)
-	if err != nil {
-		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
-	}
-	if target.NumRows() == 0 {
-		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
-	}
-	target.Name = table.Name + "_dq"
-	return NewFromTables(table, target, opts)
-}
-
-// NewFromTables builds a session from an explicit reference table and
-// target subset (for callers that produce DQ by other means).
-func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
-	gen, err := view.NewGenerator(ref, target, view.SpaceConfig{
-		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
+// generator returns the session's view generator, building it on first
+// use when the session was warmed from the cache.
+func (s *Seeker) generator() (*view.Generator, error) {
+	s.genOnce.Do(func() {
+		if s.gen != nil {
+			return
+		}
+		s.gen, s.genErr = view.NewGenerator(s.ref, s.target, s.spaceCfg)
 	})
-	if err != nil {
-		return nil, err
-	}
+	return s.gen, s.genErr
+}
+
+// buildRegistry assembles one session's feature registry from the options.
+func buildRegistry(opts Options) (*feature.Registry, error) {
 	registry := feature.StandardRegistry()
 	for _, f := range opts.ExtraFeatures {
 		if err := registry.Add(f); err != nil {
@@ -251,17 +280,184 @@ func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
 			return nil, err
 		}
 	}
+	return registry, nil
+}
+
+func normalizeAlpha(a float64) float64 {
+	if a <= 0 || a > 1 {
+		return 1
+	}
+	return a
+}
+
+// runExplorationQuery executes the session's query and names the subset.
+func runExplorationQuery(table *Table, query string) (*Table, error) {
+	target, err := Query(table, query)
+	if err != nil {
+		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
+	}
+	if target.NumRows() == 0 {
+		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
+	}
+	target.Name = table.Name + "_dq"
+	return target, nil
+}
+
+// New builds a session: query carves the exploration subset DQ out of the
+// table, the view space is enumerated over the table's dimension/measure
+// roles, and the offline feature pass runs (on an α-sample when
+// Options.Alpha < 1).
+//
+// With Options.Cache set, the session is first looked up by (reference
+// contents, query text, configuration); such entries carry the serialised
+// target subset alongside the matrix, so a warm start skips query
+// execution as well as the offline pass.
+func New(table *Table, query string, opts Options) (*Seeker, error) {
+	if table == nil {
+		return nil, fmt.Errorf("viewseeker: nil table")
+	}
+	if opts.Cache == nil {
+		target, err := runExplorationQuery(table, query)
+		if err != nil {
+			return nil, err
+		}
+		return NewFromTables(table, target, opts)
+	}
+	registry, err := buildRegistry(opts)
+	if err != nil {
+		return nil, err
+	}
+	spaceCfg := view.SpaceConfig{
+		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
+	}.Normalized()
+	alpha := normalizeAlpha(opts.Alpha)
+	if opts.RefHash == "" {
+		opts.RefHash = store.HashTable(table)
+	}
+	queryFP := store.Key{
+		RefHash: opts.RefHash, Query: query, Alpha: alpha,
+		Features: registry.Names(), Aggs: spaceCfg.Aggs,
+		BinCounts: spaceCfg.BinCounts, EqualDepth: spaceCfg.EqualDepth,
+	}.Fingerprint()
+	if res, ok := opts.Cache.Get(queryFP); ok && len(res.Target) > 0 {
+		if target, derr := dataset.ReadBinary(bytes.NewReader(res.Target)); derr == nil && target.NumRows() > 0 {
+			if s, berr := buildFromCached(table, target, opts, registry, spaceCfg, alpha, res); berr == nil {
+				return s, nil
+			}
+		}
+		// An undecodable or mismatched entry degrades to recomputation.
+	}
+	target, err := runExplorationQuery(table, query)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewFromTables(table, target, opts) // fills the content-addressed entry
+	if err != nil {
+		return nil, err
+	}
+	// Index the result under the query too, with the target attached, so
+	// the next session over this (table, query) skips the query as well.
+	var buf bytes.Buffer
+	if err := dataset.WriteBinary(target, &buf); err == nil {
+		_ = opts.Cache.Put(queryFP, &store.OfflineResult{
+			Specs: s.matrix.Specs, Names: s.matrix.Names, Rows: s.matrix.Rows,
+			Exact: s.matrix.Exact, Target: buf.Bytes(),
+		})
+	}
+	return s, nil
+}
+
+// NewFromTables builds a session from an explicit reference table and
+// target subset (for callers that produce DQ by other means). Cache
+// entries on this path are addressed by the target subset's contents, so
+// textually different queries selecting the same rows share them.
+func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
+	if ref == nil || target == nil {
+		return nil, fmt.Errorf("viewseeker: nil table")
+	}
+	spaceCfg := view.SpaceConfig{
+		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
+	}.Normalized()
+	registry, err := buildRegistry(opts)
+	if err != nil {
+		return nil, err
+	}
+	alpha := normalizeAlpha(opts.Alpha)
+	withRefinement := alpha < 1
+
+	// The offline-result cache is addressed by a fingerprint of everything
+	// the matrix depends on; hashing both tables is one pass over their
+	// columns — noise next to the feature computation a hit skips.
+	var fingerprint string
+	if opts.Cache != nil {
+		refHash := opts.RefHash
+		if refHash == "" {
+			refHash = store.HashTable(ref)
+		}
+		fingerprint = store.Key{
+			RefHash:    refHash,
+			TargetHash: store.HashTable(target),
+			Alpha:      alpha,
+			Features:   registry.Names(),
+			Aggs:       spaceCfg.Aggs,
+			BinCounts:  spaceCfg.BinCounts,
+			EqualDepth: spaceCfg.EqualDepth,
+		}.Fingerprint()
+		if res, ok := opts.Cache.Get(fingerprint); ok {
+			if s, berr := buildFromCached(ref, target, opts, registry, spaceCfg, alpha, res); berr == nil {
+				return s, nil
+			}
+			// A rebuild error means the entry does not fit this session
+			// (fingerprint collision or corruption): fall through and
+			// recompute rather than fail.
+		}
+	}
+	gen, err := view.NewGenerator(ref, target, spaceCfg)
+	if err != nil {
+		return nil, err
+	}
 	var matrix *feature.Matrix
-	withRefinement := false
-	if opts.Alpha > 0 && opts.Alpha < 1 {
-		matrix, err = feature.ComputePartialWorkers(gen, registry, opts.Alpha, opts.Workers)
-		withRefinement = true
+	if withRefinement {
+		matrix, err = feature.ComputePartialWorkers(gen, registry, alpha, opts.Workers)
 	} else {
 		matrix, err = feature.ComputeWorkers(gen, registry, opts.Workers)
 	}
 	if err != nil {
 		return nil, err
 	}
+	if opts.Cache != nil {
+		// Best-effort fill: a failed snapshot write degrades the cache
+		// to memory-only, it never fails the session.
+		_ = opts.Cache.Put(fingerprint, &store.OfflineResult{
+			Specs: matrix.Specs, Names: matrix.Names, Rows: matrix.Rows, Exact: matrix.Exact,
+		})
+	}
+	return finishSession(ref, target, opts, registry, spaceCfg, matrix, gen, false, withRefinement)
+}
+
+// buildFromCached assembles a session from a cached offline result. An
+// α-sampled result still refines during the session, which needs the
+// generator up front; an exact one defers the layout scans until a view
+// actually executes.
+func buildFromCached(ref, target *Table, opts Options, registry *feature.Registry, spaceCfg view.SpaceConfig, alpha float64, res *store.OfflineResult) (*Seeker, error) {
+	var gen *view.Generator
+	var err error
+	if !res.AllExact() {
+		gen, err = view.NewGenerator(ref, target, spaceCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	matrix, err := feature.Rebuild(gen, registry, res.Specs, res.Rows, res.Exact)
+	if err != nil {
+		return nil, err
+	}
+	return finishSession(ref, target, opts, registry, spaceCfg, matrix, gen, true, alpha < 1)
+}
+
+// finishSession wires the shared tail of every construction path: the
+// query strategy, the core estimator, and the Seeker itself.
+func finishSession(ref, target *Table, opts Options, registry *feature.Registry, spaceCfg view.SpaceConfig, matrix *feature.Matrix, gen *view.Generator, cacheHit, withRefinement bool) (*Seeker, error) {
 	var strategy active.Strategy
 	switch opts.Strategy {
 	case "", "uncertainty":
@@ -282,8 +478,15 @@ func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Seeker{ref: ref, target: target, gen: gen, registry: registry, matrix: matrix, inner: inner}, nil
+	return &Seeker{
+		ref: ref, target: target, specs: matrix.Specs, registry: registry,
+		matrix: matrix, inner: inner, cacheHit: cacheHit, spaceCfg: spaceCfg, gen: gen,
+	}, nil
 }
+
+// CacheHit reports whether this session's offline phase was served from
+// Options.Cache instead of being computed.
+func (s *Seeker) CacheHit() bool { return s.cacheHit }
 
 // Reference returns the full dataset DR.
 func (s *Seeker) Reference() *Table { return s.ref }
@@ -295,7 +498,7 @@ func (s *Seeker) Target() *Table { return s.target }
 func (s *Seeker) NumViews() int { return s.matrix.Len() }
 
 // Specs returns the enumerated view space.
-func (s *Seeker) Specs() []Spec { return s.gen.Specs() }
+func (s *Seeker) Specs() []Spec { return s.specs }
 
 // FeatureNames returns the active utility feature names, in weight order.
 func (s *Seeker) FeatureNames() []string { return s.registry.Names() }
@@ -328,7 +531,7 @@ func (s *Seeker) NextViews() ([]View, error) {
 }
 
 func (s *Seeker) viewAt(idx int) View {
-	return View{Index: idx, Spec: s.gen.Specs()[idx], Score: s.inner.Predict(idx)}
+	return View{Index: idx, Spec: s.specs[idx], Score: s.inner.Predict(idx)}
 }
 
 // Feedback records the user's 0–1 interest label for a view and refits
@@ -380,8 +583,12 @@ func (s *Seeker) SQL(index int) (string, error) {
 	if index < 0 || index >= s.NumViews() {
 		return "", fmt.Errorf("viewseeker: view %d out of range [0, %d)", index, s.NumViews())
 	}
-	spec := s.gen.Specs()[index]
-	return spec.SQL(s.ref.Name, s.gen.Layout(spec)), nil
+	gen, err := s.generator()
+	if err != nil {
+		return "", err
+	}
+	spec := s.specs[index]
+	return spec.SQL(s.ref.Name, gen.Layout(spec)), nil
 }
 
 // Weights returns the learned utility-function composition: feature name →
@@ -420,7 +627,11 @@ func (s *Seeker) Pair(index int) (*Pair, error) {
 	if index < 0 || index >= s.NumViews() {
 		return nil, fmt.Errorf("viewseeker: view %d out of range [0, %d)", index, s.NumViews())
 	}
-	return s.gen.Pair(s.gen.Specs()[index])
+	gen, err := s.generator()
+	if err != nil {
+		return nil, err
+	}
+	return gen.Pair(s.specs[index])
 }
 
 // Render returns an ASCII rendering of one view's target vs reference bar
