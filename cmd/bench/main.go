@@ -1,0 +1,245 @@
+// Command bench runs the offline-phase scan kernels on the SYN testbed at
+// two scales and writes BENCH_offline.json: the tracked record of the
+// kernels' ns/op, allocs/op and rows/sec, alongside the same scans run
+// through the retained row-at-a-time reference implementation so the
+// columnar speedup is measured, not asserted. Before timing anything it
+// verifies the flat and reference kernels produce bit-identical statistics
+// on the benchmark tables.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-rows 50000,200000] [-alpha 0.1] [-o BENCH_offline.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/view"
+)
+
+// result is one benchmark datapoint.
+type result struct {
+	Name        string  `json:"name"`
+	Dataset     string  `json:"dataset"`
+	Rows        int     `json:"rows"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+// report is the BENCH_offline.json document.
+type report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Description   string `json:"description"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	// Baseline pins the pre-kernel numbers of the two acceptance
+	// benchmarks (internal/view, 100k-row random table), measured on the
+	// row-at-a-time scan path before the columnar kernels landed.
+	Baseline map[string]int64   `json:"baseline_pre_kernels_ns_per_op"`
+	Results  []result           `json:"results"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	rowsFlag := flag.String("rows", "50000,200000", "comma-separated SYN scales to benchmark")
+	alpha := flag.Float64("alpha", 0.1, "sampling ratio for the α-pass benchmarks")
+	out := flag.String("o", "BENCH_offline.json", "output path")
+	flag.Parse()
+
+	var scales []int
+	for _, s := range strings.Split(*rowsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("bench: bad -rows entry %q", s)
+		}
+		scales = append(scales, n)
+	}
+
+	rep := report{
+		SchemaVersion: 1,
+		Description: "Offline-phase scan kernels on SYN: columnar (decode-once " +
+			"columns, bitmap nulls, flat accumulators) vs the retained " +
+			"row-at-a-time reference path.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline: map[string]int64{
+			"BenchmarkCollectStatsIndexed": 2523282,
+			"BenchmarkFullViewSpacePairs":  1800679,
+		},
+		Speedups: map[string]float64{},
+	}
+
+	for _, rows := range scales {
+		fmt.Fprintf(os.Stderr, "bench: SYN %d rows\n", rows)
+		rep.Results = append(rep.Results, benchScale(&rep, rows, *alpha)...)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}
+
+// benchScale runs every kernel benchmark at one SYN scale and records the
+// flat-vs-reference speedups into the report.
+func benchScale(rep *report, rows int, alpha float64) []result {
+	ref := dataset.GenerateSYN(dataset.SYNConfig{Rows: rows, Seed: 1})
+	measures := ref.Schema.Measures()
+	layout, err := view.ComputeLayout(ref, "d1", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bins, err := view.BinIndex(ref, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := ref.SampleRows(alpha)
+	verifyKernels(ref, layout, measures, sample, bins)
+
+	var sel []int
+	for i := 0; i < rows; i += 7 {
+		sel = append(sel, i)
+	}
+	tgt := ref.Subset("tgt", sel)
+
+	mark := func(name string, scanned int, fn func(b *testing.B)) result {
+		r := testing.Benchmark(fn)
+		res := result{
+			Name: name, Dataset: "SYN", Rows: rows,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if res.NsPerOp > 0 {
+			res.RowsPerSec = float64(scanned) / (float64(res.NsPerOp) * 1e-9)
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s %12d ns/op %14.0f rows/s\n", name, res.NsPerOp, res.RowsPerSec)
+		return res
+	}
+
+	out := []result{
+		mark("bin_index", rows, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.BinIndex(ref, layout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		mark("collect_stats_indexed", rows, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.CollectStatsIndexed(ref, layout, measures, bins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		mark("collect_stats_reference", rows, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.CollectStatsReference(ref, layout, measures, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		mark("sampled_indexed_gather", len(sample), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.CollectStatsSampled(ref, layout, measures, sample, bins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		mark("sampled_reference_rebin", len(sample), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := view.CollectStatsReference(ref, layout, measures, sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		mark("full_view_space_pairs", rows, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := view.NewGenerator(ref, tgt, view.SpaceConfig{BinCounts: []int{3, 4}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, s := range g.Specs() {
+					if _, err := g.Pair(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+	}
+
+	byName := map[string]int64{}
+	for _, r := range out {
+		byName[r.Name] = r.NsPerOp
+	}
+	if ref, flat := byName["collect_stats_reference"], byName["collect_stats_indexed"]; flat > 0 {
+		rep.Speedups[fmt.Sprintf("collect_stats_indexed_vs_reference_%d", rows)] =
+			round2(float64(ref) / float64(flat))
+	}
+	if ref, flat := byName["sampled_reference_rebin"], byName["sampled_indexed_gather"]; flat > 0 {
+		rep.Speedups[fmt.Sprintf("sampled_gather_vs_rebin_%d", rows)] =
+			round2(float64(ref) / float64(flat))
+	}
+	return out
+}
+
+// verifyKernels refuses to benchmark kernels that disagree with the
+// reference implementation.
+func verifyKernels(t *dataset.Table, layout *view.BinLayout, measures []string, sample []int, bins []int32) {
+	want, err := view.CollectStatsReference(t, layout, measures, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := view.CollectStatsIndexed(t, layout, measures, bins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustEqual(want, got, "indexed")
+	wantS, err := view.CollectStatsReference(t, layout, measures, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gotS, err := view.CollectStatsSampled(t, layout, measures, sample, bins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustEqual(wantS, gotS, "sampled")
+}
+
+func mustEqual(want, got *view.Stats, kernel string) {
+	for m := range want.Measures {
+		for b := 0; b < want.Layout.NumBins(); b++ {
+			i := want.Index(m, b)
+			if want.Counts[i] != got.Counts[i] || want.Sums[i] != got.Sums[i] ||
+				want.SumSqs[i] != got.SumSqs[i] || want.Mins[i] != got.Mins[i] ||
+				want.Maxs[i] != got.Maxs[i] {
+				log.Fatalf("bench: %s kernel diverges from reference at measure %d bin %d", kernel, m, b)
+			}
+		}
+	}
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -70,10 +70,7 @@ func ReadBinary(r io.Reader) (*Table, error) {
 		col := t.Cols[i]
 		col.Ints, col.Floats, col.Strs, col.Bools = bc.Ints, bc.Floats, bc.Strs, bc.Bools
 		for _, n := range bc.Nulls {
-			if col.nulls == nil {
-				col.nulls = make(map[int]bool)
-			}
-			col.nulls[n] = true
+			col.markNull(n)
 		}
 	}
 	if err := t.sealRows(); err != nil {

@@ -1,17 +1,34 @@
 package dataset
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // Column stores one table column unboxed. Exactly one of the backing
-// slices is populated, matching Def.Kind; nulls records positions holding
-// SQL NULL (nil when the column has no nulls).
+// slices is populated, matching Def.Kind; nulls is a bitmap with bit i set
+// when row i holds SQL NULL (nil when the column has no nulls). The bitmap
+// is sized only up to the highest null row, so readers must bounds-check
+// the word index (IsNull does).
 type Column struct {
 	Def    ColumnDef
 	Ints   []int64
 	Floats []float64
 	Strs   []string
 	Bools  []bool
-	nulls  map[int]bool
+	nulls  []uint64
+
+	// dec caches the one-time numeric decode of an int/bool column as a
+	// flat []float64, so scan kernels read every column at full memory
+	// bandwidth instead of re-running the per-cell kind switch once per
+	// row × measure × layout. Guarded by its own mutex: scans fan out over
+	// goroutines and may race to build it.
+	dec struct {
+		mu   sync.Mutex
+		vals []float64
+		n    int
+	}
 }
 
 // NewColumn allocates an empty column for the definition.
@@ -37,10 +54,7 @@ func (c *Column) Len() int {
 // stores the kind's zero value and records the position as null.
 func (c *Column) Append(v Value) error {
 	if v.IsNull() {
-		if c.nulls == nil {
-			c.nulls = make(map[int]bool)
-		}
-		c.nulls[c.Len()] = true
+		c.markNull(c.Len())
 		v = zeroOf(c.Def.Kind)
 	}
 	switch c.Def.Kind {
@@ -88,9 +102,18 @@ func zeroOf(k Kind) Value {
 	}
 }
 
+// markNull flags row i as NULL, growing the bitmap as needed.
+func (c *Column) markNull(i int) {
+	w := i >> 6
+	for len(c.nulls) <= w {
+		c.nulls = append(c.nulls, 0)
+	}
+	c.nulls[w] |= 1 << (uint(i) & 63)
+}
+
 // Value returns the cell at row i as a boxed Value.
 func (c *Column) Value(i int) Value {
-	if c.nulls != nil && c.nulls[i] {
+	if c.IsNull(i) {
 		return Null
 	}
 	switch c.Def.Kind {
@@ -108,7 +131,68 @@ func (c *Column) Value(i int) Value {
 }
 
 // IsNull reports whether the cell at row i is NULL.
-func (c *Column) IsNull(i int) bool { return c.nulls != nil && c.nulls[i] }
+func (c *Column) IsNull(i int) bool {
+	w := i >> 6
+	return w < len(c.nulls) && c.nulls[w]>>(uint(i)&63)&1 == 1
+}
+
+// NullBitmap returns the column's null bitmap: bit i of word i/64 is set
+// when row i is NULL. The bitmap covers only up to the highest null row
+// (nil when the column has none) and is shared, not copied — callers must
+// treat it as read-only.
+func (c *Column) NullBitmap() []uint64 { return c.nulls }
+
+// NullCount returns the number of NULL cells.
+func (c *Column) NullCount() int {
+	n := 0
+	for _, w := range c.nulls {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// NumericView returns the column decoded once as a flat []float64 (ints
+// and bools widened, bools as 0/1) plus the null bitmap, the decode-once
+// view the columnar scan kernels read. Float columns return their backing
+// slice directly; int/bool columns decode lazily on first use and cache
+// the result, rebuilding if rows were appended since. ok is false for
+// string columns, which have no numeric interpretation. NULL rows hold the
+// kind's zero value in vals; consult the bitmap to skip them. The returned
+// slices are shared — read-only for callers. Safe for concurrent use.
+func (c *Column) NumericView() (vals []float64, nulls []uint64, ok bool) {
+	switch c.Def.Kind {
+	case KindFloat:
+		return c.Floats, c.nulls, true
+	case KindInt, KindBool:
+		return c.decoded(), c.nulls, true
+	default:
+		return nil, nil, false
+	}
+}
+
+func (c *Column) decoded() []float64 {
+	c.dec.mu.Lock()
+	defer c.dec.mu.Unlock()
+	n := c.Len()
+	if c.dec.vals != nil && c.dec.n == n {
+		return c.dec.vals
+	}
+	vals := make([]float64, n)
+	switch c.Def.Kind {
+	case KindInt:
+		for i, v := range c.Ints {
+			vals[i] = float64(v)
+		}
+	case KindBool:
+		for i, v := range c.Bools {
+			if v {
+				vals[i] = 1
+			}
+		}
+	}
+	c.dec.vals, c.dec.n = vals, n
+	return vals
+}
 
 // Float returns the cell at row i coerced to float64 (0 for NULL or
 // non-numeric cells) plus an ok flag. It avoids boxing on the hot

@@ -1,0 +1,105 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/view"
+)
+
+// TestMatrixMatchesReferenceKernels pins the offline phase's output to the
+// retained row-at-a-time reference scan: the feature matrix computed
+// through the columnar kernels (exact and α-sampled) must be bit-identical
+// to vectors assembled from view.CollectStatsReference over the same
+// layouts. A kernel regression that changes any accumulator by one ULP
+// fails here.
+func TestMatrixMatchesReferenceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "cat", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "num", Kind: dataset.KindFloat, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m1", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "m2", Kind: dataset.KindInt, Role: dataset.RoleMeasure},
+	)
+	ref := dataset.NewTable("ref", schema)
+	for i := 0; i < 600; i++ {
+		m1 := dataset.Float(rng.NormFloat64() * 5)
+		if rng.Intn(9) == 0 {
+			m1 = dataset.Null
+		}
+		ref.MustAppendRow(
+			dataset.StringVal(string(rune('a'+rng.Intn(5)))),
+			dataset.Float(rng.Float64()*50),
+			m1,
+			dataset.Int(int64(rng.Intn(40))),
+		)
+	}
+	var sel []int
+	for i := 0; i < ref.NumRows(); i += 6 {
+		sel = append(sel, i)
+	}
+	tgt := ref.Subset("tgt", sel)
+	g, err := view.NewGenerator(ref, tgt, view.SpaceConfig{BinCounts: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := StandardRegistry()
+	measures := ref.Schema.Measures()
+
+	referenceVector := func(s view.Spec, refRows []int) []float64 {
+		t.Helper()
+		layout := g.Layout(s)
+		rs, err := view.CollectStatsReference(ref, layout, measures, refRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := view.CollectStatsReference(tgt, layout, measures, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := rs.Histogram(s.Measure, s.Agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := ts.Histogram(s.Measure, s.Agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := reg.Vector(&view.Pair{Spec: s, Target: th, Reference: rh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vec
+	}
+
+	exact, err := Compute(g, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range exact.Specs {
+		want := referenceVector(s, nil)
+		for j := range want {
+			if exact.Rows[i][j] != want[j] {
+				t.Fatalf("exact matrix %s feature %q: kernel %v != reference %v",
+					s, exact.Names[j], exact.Rows[i][j], want[j])
+			}
+		}
+	}
+
+	const alpha = 0.2
+	partial, err := ComputePartial(g, reg, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleRows := ref.SampleRows(alpha)
+	for i, s := range partial.Specs {
+		want := referenceVector(s, sampleRows)
+		for j := range want {
+			if partial.Rows[i][j] != want[j] {
+				t.Fatalf("partial matrix %s feature %q: kernel %v != reference %v",
+					s, partial.Names[j], partial.Rows[i][j], want[j])
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"hash"
 	"io"
 	"math"
+	"math/bits"
 
 	"viewseeker/internal/dataset"
 )
@@ -101,17 +102,17 @@ func HashTable(t *dataset.Table) string {
 				w.u64(0)
 			}
 		}
-		// NULL positions distinguish a zero cell from a missing one.
-		nulls := uint64(0)
-		for i := 0; i < c.Len(); i++ {
-			if c.IsNull(i) {
-				nulls++
-			}
-		}
-		w.u64(nulls)
-		for i := 0; i < c.Len(); i++ {
-			if c.IsNull(i) {
-				w.u64(uint64(i))
+		// NULL positions distinguish a zero cell from a missing one. The
+		// column's null bitmap is walked word-at-a-time — same byte stream
+		// as hashing every row's IsNull (ascending indices), so existing
+		// cache entries stay addressable, at a fraction of the cost.
+		bm := c.NullBitmap()
+		w.u64(uint64(c.NullCount()))
+		for wi, word := range bm {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				w.u64(uint64(wi*64 + b))
+				word &^= 1 << uint(b)
 			}
 		}
 	}

@@ -68,3 +68,105 @@ func BenchmarkFullViewSpacePairs(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCollectStatsReference measures the retained row-at-a-time
+// reference scan — the pre-kernel path — so the columnar speedup stays
+// visible in every benchmark run.
+func BenchmarkCollectStatsReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 100_000)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measures := tab.Schema.Measures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectStatsReference(tab, layout, measures, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectStatsSampled measures the α-pass gather through a cached
+// full-table bin index against the direct re-binning scan of the same rows.
+func BenchmarkCollectStatsSampled(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 100_000)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins, err := BinIndex(tab, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measures := tab.Schema.Measures()
+	rows := tab.SampleRows(0.1)
+	b.Run("indexed-gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CollectStatsSampled(tab, layout, measures, rows, bins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-rebin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CollectStatsReference(tab, layout, measures, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBinIndex measures the dictionary-encoding kernel on a
+// categorical and a numeric dimension.
+func BenchmarkBinIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := randomTable(rng, 100_000)
+	for _, spec := range []struct {
+		dim  string
+		bins int
+	}{{"cat", 0}, {"num", 4}} {
+		layout, err := ComputeLayout(tab, spec.dim, spec.bins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.dim, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BinIndex(tab, layout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBinIndexAllocations pins the categorical bin-index kernel to a
+// single allocation per call (the output slice): the per-row GroupKey
+// string materialisation is gone and must not come back.
+func TestBinIndexAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := randomTable(rng, 10_000)
+	for _, spec := range []struct {
+		dim  string
+		bins int
+	}{{"cat", 0}, {"num", 4}} {
+		layout, err := ComputeLayout(tab, spec.dim, spec.bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BinIndex(tab, layout); err != nil { // warm decode caches
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := BinIndex(tab, layout); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 1 {
+			t.Errorf("BinIndex(%s) allocates %.1f times per run, want ≤ 1", spec.dim, allocs)
+		}
+	}
+}

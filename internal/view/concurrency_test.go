@@ -1,9 +1,53 @@
 package view
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 )
+
+// TestCollectStatsConcurrentDecode races many indexed scans over a fresh
+// table whose int/bool columns must be decoded lazily: the decode-once
+// caches are built under contention and every goroutine must still see
+// stats bit-identical to the sequential reference.
+func TestCollectStatsConcurrentDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := kernelTable(rng, 2_000)
+	measures := []string{"m1", "m2", "mconst", "mbool"}
+	layouts := kernelLayouts(t, tab)
+	want := make([]*Stats, len(layouts))
+	for i, l := range layouts {
+		var err error
+		if want[i], err = CollectStatsReference(tab, l, measures, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, l := range layouts {
+				bins, err := BinIndex(tab, l)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := CollectStatsIndexed(tab, l, measures, bins)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := statsEqual(want[i], got); err != nil {
+					t.Errorf("layout %q: %v", l.Dimension, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // TestGeneratorConcurrentAccess hammers one generator's lazy caches from
 // many goroutines mixing every access path — full pairs, focused pairs,

@@ -144,6 +144,13 @@ func (l *BinLayout) BinOf(col *dataset.Column, row int) int {
 	if !ok {
 		return -1
 	}
+	return l.binOfFloat(f)
+}
+
+// binOfFloat maps a numeric value to its bin, or -1 outside [Lo, Hi). It
+// is the single binning expression shared by BinOf and the columnar
+// bin-index kernel, so the two can never disagree on boundary rounding.
+func (l *BinLayout) binOfFloat(f float64) int {
 	if f < l.Lo || f >= l.Hi {
 		if f == l.Hi { // degenerate constant-column layout
 			return l.Bins - 1
@@ -175,15 +182,60 @@ func (l *BinLayout) BinOf(col *dataset.Column, row int) int {
 // bins) layout: for every bin and every measure, the count, sum, sum of
 // squares, min and max of the measure. One Stats answers every (m, f)
 // view on that dimension, which is how the generator amortises scans.
+//
+// The five statistics are flat, contiguous, measure-major arrays —
+// statistic X of measure m in bin b lives at X[Index(m, b)] — so the scan
+// kernels accumulate into one cache-resident stripe per measure instead of
+// chasing a pointer per bin.
 type Stats struct {
 	Layout   *BinLayout
 	Measures []string
-	// All indexed [bin][measure].
-	Counts [][]float64
-	Sums   [][]float64
-	SumSqs [][]float64
-	Mins   [][]float64
-	Maxs   [][]float64
+	// All indexed [measure*NumBins()+bin]; see Index.
+	Counts []float64
+	Sums   []float64
+	SumSqs []float64
+	Mins   []float64
+	Maxs   []float64
+}
+
+// Index returns the flat offset of (measure m, bin b).
+func (s *Stats) Index(m, b int) int { return m*s.Layout.NumBins() + b }
+
+// newStats allocates zeroed accumulators, with min/max seeded to ±Inf.
+func newStats(layout *BinLayout, measures []string) *Stats {
+	n := layout.NumBins() * len(measures)
+	s := &Stats{
+		Layout: layout, Measures: measures,
+		Counts: make([]float64, n), Sums: make([]float64, n), SumSqs: make([]float64, n),
+		Mins: make([]float64, n), Maxs: make([]float64, n),
+	}
+	for i := range s.Mins {
+		s.Mins[i] = math.Inf(1)
+		s.Maxs[i] = math.Inf(-1)
+	}
+	return s
+}
+
+// smallDictMax is the categorical cardinality up to which the bin-index
+// kernel resolves labels with a first-byte table and linear probing
+// instead of hashing through the layout's map.
+const smallDictMax = 24
+
+// probeLabels returns the bin whose label equals s, or -1.
+func probeLabels(labels []string, s string) int32 {
+	for i, lab := range labels {
+		if lab == s {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// isNull reads bit r of a column null bitmap. Nil-safe: the bitmap covers
+// only up to the highest null row.
+func isNull(nulls []uint64, r int) bool {
+	w := r >> 6
+	return w < len(nulls) && nulls[w]>>(uint(r)&63)&1 == 1
 }
 
 // BinIndex materialises the bin of every row of a table under a layout —
@@ -196,10 +248,123 @@ func BinIndex(t *dataset.Table, layout *BinLayout) ([]int32, error) {
 		return nil, fmt.Errorf("view: table %q has no column %q", t.Name, layout.Dimension)
 	}
 	bins := make([]int32, t.NumRows())
-	for r := range bins {
-		bins[r] = int32(layout.BinOf(dimCol, r))
-	}
+	layout.fillBins(dimCol, bins)
 	return bins, nil
+}
+
+// fillBins is the columnar bin-index kernel: it switches on the dimension
+// column's kind once and walks the backing slice directly, instead of
+// paying BinOf's kind switch — and, for categorical dimensions, GroupKey's
+// boxing — once per row. Every path produces exactly BinOf's result (the
+// bin-index property test holds the two together).
+func (l *BinLayout) fillBins(col *dataset.Column, bins []int32) {
+	if !l.Numeric {
+		nulls := col.NullBitmap()
+		switch col.Def.Kind {
+		case dataset.KindString:
+			strs := col.Strs
+			// Bin i is labelled Labels[i], so the label slice doubles as
+			// the lookup dictionary. At the small cardinalities typical of
+			// categorical dimensions, direct-mapping the labels by first
+			// byte beats hashing every row's string through the map: most
+			// label sets have distinct initials, making the common row one
+			// array index plus one equality check. Shared initials and
+			// empty strings fall back to a linear probe over the (small)
+			// label set; high-cardinality layouts keep the map. All paths
+			// find the same unique label.
+			if labels := l.Labels; len(labels) <= smallDictMax {
+				var first [256]int32
+				for i := range first {
+					first[i] = -1
+				}
+				for i, lab := range labels {
+					if lab == "" {
+						continue // probed: "" has no first byte
+					}
+					if b0 := lab[0]; first[b0] == -1 {
+						first[b0] = int32(i)
+					} else {
+						first[b0] = -2 // shared initial: always probe
+					}
+				}
+				for r := range bins {
+					if isNull(nulls, r) {
+						bins[r] = -1
+						continue
+					}
+					s := strs[r]
+					if s != "" {
+						if c := first[s[0]]; c >= 0 {
+							// The unique label with this initial either is
+							// s or no label is.
+							if labels[c] == s {
+								bins[r] = c
+							} else {
+								bins[r] = -1
+							}
+							continue
+						} else if c == -1 {
+							bins[r] = -1 // no label starts with this byte
+							continue
+						}
+					}
+					bins[r] = probeLabels(labels, s)
+				}
+				return
+			}
+			for r := range bins {
+				if isNull(nulls, r) {
+					bins[r] = -1
+					continue
+				}
+				if i, ok := l.index[strs[r]]; ok {
+					bins[r] = int32(i)
+				} else {
+					bins[r] = -1
+				}
+			}
+		case dataset.KindBool:
+			// The categorical index keys bools by their printed group keys;
+			// resolve both once and select per row.
+			binFalse, binTrue := int32(-1), int32(-1)
+			if i, ok := l.index["false"]; ok {
+				binFalse = int32(i)
+			}
+			if i, ok := l.index["true"]; ok {
+				binTrue = int32(i)
+			}
+			bools := col.Bools
+			for r := range bins {
+				switch {
+				case isNull(nulls, r):
+					bins[r] = -1
+				case bools[r]:
+					bins[r] = binTrue
+				default:
+					bins[r] = binFalse
+				}
+			}
+		default:
+			for r := range bins {
+				bins[r] = int32(l.BinOf(col, r))
+			}
+		}
+		return
+	}
+	vals, nulls, ok := col.NumericView()
+	if !ok {
+		for r := range bins {
+			bins[r] = -1
+		}
+		return
+	}
+	for r := range bins {
+		if isNull(nulls, r) {
+			bins[r] = -1
+			continue
+		}
+		bins[r] = int32(l.binOfFloat(vals[r]))
+	}
 }
 
 // CollectStats scans the table (restricted to rows, or all rows when rows
@@ -217,6 +382,16 @@ func CollectStatsIndexed(t *dataset.Table, layout *BinLayout, measures []string,
 	return collectStats(t, layout, measures, nil, bins)
 }
 
+// CollectStatsSampled is CollectStats over a row subset using a
+// precomputed full-table bin index: an α-sample pass costs a gather
+// through the index instead of re-binning the dimension column row by row.
+func CollectStatsSampled(t *dataset.Table, layout *BinLayout, measures []string, rows []int, bins []int32) (*Stats, error) {
+	if len(bins) != t.NumRows() {
+		return nil, fmt.Errorf("view: bin index has %d entries for %d rows", len(bins), t.NumRows())
+	}
+	return collectStats(t, layout, measures, rows, bins)
+}
+
 func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows []int, bins []int32) (*Stats, error) {
 	dimCol := t.Column(layout.Dimension)
 	if dimCol == nil {
@@ -230,7 +405,153 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 		}
 	}
 	nb := layout.NumBins()
-	s := &Stats{Layout: layout, Measures: measures}
+	s := newStats(layout, measures)
+	if bins == nil && rows == nil {
+		// Full unindexed scan: bin the dimension once up front, then run
+		// the indexed kernels — the same decode-once work a cached index
+		// would have saved, paid exactly once.
+		bins = make([]int32, t.NumRows())
+		layout.fillBins(dimCol, bins)
+	}
+	if bins != nil {
+		for m, col := range mCols {
+			vals, nulls, ok := col.NumericView()
+			if !ok {
+				continue // non-numeric measure: every cell skips, stats stay empty
+			}
+			base := m * nb
+			accumulateColumn(s.Counts[base:base+nb], s.Sums[base:base+nb],
+				s.SumSqs[base:base+nb], s.Mins[base:base+nb], s.Maxs[base:base+nb],
+				vals, nulls, rows, bins)
+		}
+		return s, nil
+	}
+	// Row subset without a bin index: per-row BinOf, but still decode-once
+	// measure reads and flat accumulators.
+	views := make([][]float64, len(mCols))
+	nullsOf := make([][]uint64, len(mCols))
+	numeric := make([]bool, len(mCols))
+	for m, col := range mCols {
+		views[m], nullsOf[m], numeric[m] = col.NumericView()
+	}
+	for _, r := range rows {
+		b := layout.BinOf(dimCol, r)
+		if b < 0 {
+			continue
+		}
+		for m := range mCols {
+			if !numeric[m] || isNull(nullsOf[m], r) {
+				continue
+			}
+			v := views[m][r]
+			i := m*nb + b
+			s.Counts[i]++
+			s.Sums[i] += v
+			s.SumSqs[i] += v * v
+			if v < s.Mins[i] {
+				s.Mins[i] = v
+			}
+			if v > s.Maxs[i] {
+				s.Maxs[i] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// accumulateColumn is the per-measure inner loop of the indexed scan
+// kernels: one decoded column accumulated into one measure's flat stripe.
+// All branching on scan shape (full vs row subset) and null presence is
+// hoisted out of the row loop, leaving four straight-line variants.
+func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows []int, bins []int32) {
+	switch {
+	case rows == nil && nulls == nil:
+		for r, b := range bins {
+			if b < 0 {
+				continue
+			}
+			v := vals[r]
+			cnt[b]++
+			sum[b] += v
+			sq[b] += v * v
+			if v < mn[b] {
+				mn[b] = v
+			}
+			if v > mx[b] {
+				mx[b] = v
+			}
+		}
+	case rows == nil:
+		for r, b := range bins {
+			if b < 0 || isNull(nulls, r) {
+				continue
+			}
+			v := vals[r]
+			cnt[b]++
+			sum[b] += v
+			sq[b] += v * v
+			if v < mn[b] {
+				mn[b] = v
+			}
+			if v > mx[b] {
+				mx[b] = v
+			}
+		}
+	case nulls == nil:
+		for _, r := range rows {
+			b := bins[r]
+			if b < 0 {
+				continue
+			}
+			v := vals[r]
+			cnt[b]++
+			sum[b] += v
+			sq[b] += v * v
+			if v < mn[b] {
+				mn[b] = v
+			}
+			if v > mx[b] {
+				mx[b] = v
+			}
+		}
+	default:
+		for _, r := range rows {
+			b := bins[r]
+			if b < 0 || isNull(nulls, r) {
+				continue
+			}
+			v := vals[r]
+			cnt[b]++
+			sum[b] += v
+			sq[b] += v * v
+			if v < mn[b] {
+				mn[b] = v
+			}
+			if v > mx[b] {
+				mx[b] = v
+			}
+		}
+	}
+}
+
+// CollectStatsReference is the retained row-at-a-time reference
+// implementation the columnar kernels are held bit-identical to: per-row
+// BinOf (kind switch, group-key lookup), per-cell Column.Float, bin-major
+// scratch accumulators — the pre-kernel scan path. The kernel property
+// tests and cmd/bench compare against it. rows == nil scans every row.
+func CollectStatsReference(t *dataset.Table, layout *BinLayout, measures []string, rows []int) (*Stats, error) {
+	dimCol := t.Column(layout.Dimension)
+	if dimCol == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", t.Name, layout.Dimension)
+	}
+	mCols := make([]*dataset.Column, len(measures))
+	for i, m := range measures {
+		mCols[i] = t.Column(m)
+		if mCols[i] == nil {
+			return nil, fmt.Errorf("view: table %q has no measure %q", t.Name, m)
+		}
+	}
+	nb := layout.NumBins()
 	alloc := func() [][]float64 {
 		out := make([][]float64, nb)
 		for i := range out {
@@ -238,12 +559,12 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 		}
 		return out
 	}
-	s.Counts, s.Sums, s.SumSqs = alloc(), alloc(), alloc()
-	s.Mins, s.Maxs = alloc(), alloc()
+	counts, sums, sumsqs := alloc(), alloc(), alloc()
+	mins, maxs := alloc(), alloc()
 	for b := 0; b < nb; b++ {
 		for m := range measures {
-			s.Mins[b][m] = math.Inf(1)
-			s.Maxs[b][m] = math.Inf(-1)
+			mins[b][m] = math.Inf(1)
+			maxs[b][m] = math.Inf(-1)
 		}
 	}
 	accumulate := func(r, b int) {
@@ -252,35 +573,39 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 			if !ok {
 				continue
 			}
-			s.Counts[b][m]++
-			s.Sums[b][m] += v
-			s.SumSqs[b][m] += v * v
-			if v < s.Mins[b][m] {
-				s.Mins[b][m] = v
+			counts[b][m]++
+			sums[b][m] += v
+			sumsqs[b][m] += v * v
+			if v < mins[b][m] {
+				mins[b][m] = v
 			}
-			if v > s.Maxs[b][m] {
-				s.Maxs[b][m] = v
+			if v > maxs[b][m] {
+				maxs[b][m] = v
 			}
 		}
 	}
-	switch {
-	case bins != nil:
-		for r, b := range bins {
-			if b >= 0 {
-				accumulate(r, int(b))
-			}
-		}
-	case rows == nil:
+	if rows == nil {
 		for r := 0; r < t.NumRows(); r++ {
 			if b := layout.BinOf(dimCol, r); b >= 0 {
 				accumulate(r, b)
 			}
 		}
-	default:
+	} else {
 		for _, r := range rows {
 			if b := layout.BinOf(dimCol, r); b >= 0 {
 				accumulate(r, b)
 			}
+		}
+	}
+	s := newStats(layout, measures)
+	for b := 0; b < nb; b++ {
+		for m := range measures {
+			i := s.Index(m, b)
+			s.Counts[i] = counts[b][m]
+			s.Sums[i] = sums[b][m]
+			s.SumSqs[i] = sumsqs[b][m]
+			s.Mins[i] = mins[b][m]
+			s.Maxs[i] = maxs[b][m]
 		}
 	}
 	return s, nil
@@ -306,11 +631,12 @@ func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
 		Sums:   make([]float64, nb),
 		SumSqs: make([]float64, nb),
 	}
+	base := mi * nb
 	for b := 0; b < nb; b++ {
-		c := s.Counts[b][mi]
+		c := s.Counts[base+b]
 		h.Counts[b] = c
-		h.Sums[b] = s.Sums[b][mi]
-		h.SumSqs[b] = s.SumSqs[b][mi]
+		h.Sums[b] = s.Sums[base+b]
+		h.SumSqs[b] = s.SumSqs[base+b]
 		if c == 0 {
 			continue // empty bin: bar height 0 for every aggregate
 		}
@@ -318,13 +644,13 @@ func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
 		case "COUNT":
 			h.Values[b] = c
 		case "SUM":
-			h.Values[b] = s.Sums[b][mi]
+			h.Values[b] = s.Sums[base+b]
 		case "AVG":
-			h.Values[b] = s.Sums[b][mi] / c
+			h.Values[b] = s.Sums[base+b] / c
 		case "MIN":
-			h.Values[b] = s.Mins[b][mi]
+			h.Values[b] = s.Mins[base+b]
 		case "MAX":
-			h.Values[b] = s.Maxs[b][mi]
+			h.Values[b] = s.Maxs[base+b]
 		default:
 			return nil, fmt.Errorf("view: unknown aggregate %q", agg)
 		}

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -87,16 +88,8 @@ func TestCollectStatsIndexedEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for b := 0; b < layout.NumBins(); b++ {
-		for m := 0; m < 2; m++ {
-			if plain.Counts[b][m] != indexed.Counts[b][m] ||
-				plain.Sums[b][m] != indexed.Sums[b][m] ||
-				plain.SumSqs[b][m] != indexed.SumSqs[b][m] ||
-				plain.Mins[b][m] != indexed.Mins[b][m] ||
-				plain.Maxs[b][m] != indexed.Maxs[b][m] {
-				t.Fatalf("stats differ at bin %d measure %d", b, m)
-			}
-		}
+	if err := statsEqual(plain, indexed); err != nil {
+		t.Fatal(err)
 	}
 	if _, err := CollectStatsIndexed(tab, layout, []string{"m1"}, bins[:10]); err == nil {
 		t.Error("short bin index should fail")
@@ -134,20 +127,21 @@ func TestStatsAdditivity(t *testing.T) {
 			t.Fatal(err)
 		}
 		for bin := 0; bin < layout.NumBins(); bin++ {
-			if sa.Counts[bin][0]+sb.Counts[bin][0] != all.Counts[bin][0] {
+			i := all.Index(0, bin)
+			if sa.Counts[i]+sb.Counts[i] != all.Counts[i] {
 				return false
 			}
-			if math.Abs(sa.Sums[bin][0]+sb.Sums[bin][0]-all.Sums[bin][0]) > 1e-9 {
+			if math.Abs(sa.Sums[i]+sb.Sums[i]-all.Sums[i]) > 1e-9 {
 				return false
 			}
-			if math.Abs(sa.SumSqs[bin][0]+sb.SumSqs[bin][0]-all.SumSqs[bin][0]) > 1e-9 {
+			if math.Abs(sa.SumSqs[i]+sb.SumSqs[i]-all.SumSqs[i]) > 1e-9 {
 				return false
 			}
-			if all.Counts[bin][0] > 0 {
-				if math.Min(sa.Mins[bin][0], sb.Mins[bin][0]) != all.Mins[bin][0] {
+			if all.Counts[i] > 0 {
+				if math.Min(sa.Mins[i], sb.Mins[i]) != all.Mins[i] {
 					return false
 				}
-				if math.Max(sa.Maxs[bin][0], sb.Maxs[bin][0]) != all.Maxs[bin][0] {
+				if math.Max(sa.Maxs[i], sb.Maxs[i]) != all.Maxs[i] {
 					return false
 				}
 			}
@@ -231,6 +225,214 @@ func TestPairFocusedMatchesPair(t *testing.T) {
 				t.Fatalf("focused pair differs for %s at bin %d", spec, b)
 			}
 		}
+	}
+}
+
+// statsEqual reports whether two Stats over the same layout and measure
+// set are bit-identical.
+func statsEqual(a, b *Stats) error {
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("stats sized %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	for m := range a.Measures {
+		for bin := 0; bin < a.Layout.NumBins(); bin++ {
+			i := a.Index(m, bin)
+			if a.Counts[i] != b.Counts[i] || a.Sums[i] != b.Sums[i] ||
+				a.SumSqs[i] != b.SumSqs[i] || a.Mins[i] != b.Mins[i] ||
+				a.Maxs[i] != b.Maxs[i] {
+				return fmt.Errorf("stats differ at measure %q bin %d", a.Measures[m], bin)
+			}
+		}
+	}
+	return nil
+}
+
+// kernelTable builds a table that exercises every kernel path: string,
+// bool, float and int dimensions (with NULLs), a constant numeric
+// dimension (degenerate layout), and float/int/bool measures including a
+// constant one — with NULLs sprinkled across dimension and measure cells.
+func kernelTable(rng *rand.Rand, rows int) *dataset.Table {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "cat", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "flag", Kind: dataset.KindBool, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "num", Kind: dataset.KindFloat, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "numint", Kind: dataset.KindInt, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "constd", Kind: dataset.KindFloat, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m1", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "m2", Kind: dataset.KindInt, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "mconst", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+		dataset.ColumnDef{Name: "mbool", Kind: dataset.KindBool, Role: dataset.RoleMeasure},
+	)
+	t := dataset.NewTable("kt", schema)
+	maybeNull := func(v dataset.Value) dataset.Value {
+		if rng.Intn(8) == 0 {
+			return dataset.Null
+		}
+		return v
+	}
+	// Labels sharing a first byte, plus an empty string, force the
+	// categorical kernel off its first-byte fast path.
+	cats := []string{"apple", "avocado", "banana", "cherry", ""}
+	for i := 0; i < rows; i++ {
+		t.MustAppendRow(
+			maybeNull(dataset.StringVal(cats[rng.Intn(len(cats))])),
+			maybeNull(dataset.Bool(rng.Intn(2) == 0)),
+			maybeNull(dataset.Float(rng.NormFloat64()*10)),
+			maybeNull(dataset.Int(int64(rng.Intn(30)))),
+			dataset.Float(7.5),
+			maybeNull(dataset.Float(rng.NormFloat64()*5)),
+			maybeNull(dataset.Int(int64(rng.Intn(50)))),
+			dataset.Float(3),
+			maybeNull(dataset.Bool(rng.Intn(2) == 0)),
+		)
+	}
+	return t
+}
+
+// kernelLayouts builds one layout per dimension kind over the reference
+// table, including an equal-depth layout.
+func kernelLayouts(t *testing.T, tab *dataset.Table) []*BinLayout {
+	t.Helper()
+	var out []*BinLayout
+	for _, spec := range []struct {
+		dim  string
+		bins int
+	}{{"cat", 0}, {"flag", 0}, {"num", 3}, {"numint", 4}, {"constd", 3}} {
+		l, err := ComputeLayout(tab, spec.dim, spec.bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, l)
+	}
+	depth, err := ComputeLayoutEqualDepth(tab, "num", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, depth)
+}
+
+// TestFlatKernelMatchesReference is the kernel property test: over
+// randomized tables (NULLs, constant columns, bool/int/float/string
+// dimensions, equal-depth layouts) every columnar scan shape — full,
+// indexed, sampled-indexed, row-subset fallback — must produce Stats and
+// Histograms bit-identical to the retained row-at-a-time reference
+// implementation, including on a subset table with empty bins.
+func TestFlatKernelMatchesReference(t *testing.T) {
+	measures := []string{"m1", "m2", "mconst", "mbool"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := kernelTable(rng, 150+rng.Intn(150))
+		// A sparse subset misses categories, so its stats have empty bins.
+		var sel []int
+		for i := 0; i < tab.NumRows(); i += 5 {
+			sel = append(sel, i)
+		}
+		sub := tab.Subset("sub", sel)
+		for _, layout := range kernelLayouts(t, tab) {
+			for _, scanned := range []*dataset.Table{tab, sub} {
+				bins, err := BinIndex(scanned, layout)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The bin-index kernel must agree with per-row BinOf.
+				dimCol := scanned.Column(layout.Dimension)
+				for r := 0; r < scanned.NumRows(); r++ {
+					if int(bins[r]) != layout.BinOf(dimCol, r) {
+						t.Fatalf("dim %q row %d: bin index %d != BinOf %d",
+							layout.Dimension, r, bins[r], layout.BinOf(dimCol, r))
+					}
+				}
+				want, err := CollectStatsReference(scanned, layout, measures, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := CollectStats(scanned, layout, measures, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				indexed, err := CollectStatsIndexed(scanned, layout, measures, bins)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, got := range map[string]*Stats{"full": full, "indexed": indexed} {
+					if err := statsEqual(want, got); err != nil {
+						t.Fatalf("dim %q %s kernel: %v", layout.Dimension, name, err)
+					}
+				}
+				for _, agg := range Aggregates {
+					for _, m := range measures {
+						hw, err := want.Histogram(m, agg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						hg, err := indexed.Histogram(m, agg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for b := range hw.Values {
+							if hw.Values[b] != hg.Values[b] || hw.Counts[b] != hg.Counts[b] ||
+								hw.Sums[b] != hg.Sums[b] || hw.SumSqs[b] != hg.SumSqs[b] {
+								t.Fatalf("dim %q %s(%s) bin %d differs", layout.Dimension, agg, m, b)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampledIndexedMatchesDirect checks the α-pass gather (sampled scan
+// through the cached full-table bin index) against both the direct
+// row-subset scan and the reference implementation.
+func TestSampledIndexedMatchesDirect(t *testing.T) {
+	measures := []string{"m1", "m2", "mconst", "mbool"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := kernelTable(rng, 200+rng.Intn(100))
+		rows := tab.SampleRows(0.1 + rng.Float64()*0.5)
+		for _, layout := range kernelLayouts(t, tab) {
+			bins, err := BinIndex(tab, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gathered, err := CollectStatsSampled(tab, layout, measures, rows, bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := CollectStats(tab, layout, measures, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := CollectStatsReference(tab, layout, measures, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := statsEqual(want, gathered); err != nil {
+				t.Fatalf("dim %q sampled-indexed: %v", layout.Dimension, err)
+			}
+			if err := statsEqual(want, direct); err != nil {
+				t.Fatalf("dim %q sampled-direct: %v", layout.Dimension, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+	// A short bin index is rejected.
+	rng := rand.New(rand.NewSource(1))
+	tab := kernelTable(rng, 100)
+	layout, err := ComputeLayout(tab, "cat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectStatsSampled(tab, layout, measures, []int{0}, make([]int32, 10)); err == nil {
+		t.Error("short bin index should fail")
 	}
 }
 

@@ -194,22 +194,25 @@ func (g *Generator) binsFor(t *dataset.Table, cache *lazyCache[layoutKey, []int3
 
 // statsFor returns the group statistics of one table under one layout,
 // scanning on first use and caching per layout — one scan answers every
-// (measure, aggregate) view on that dimension. Full scans (rows == nil)
-// go through the bin-index cache.
+// (measure, aggregate) view on that dimension. Both full scans (rows ==
+// nil) and sampled scans go through the bin-index cache: an α-sample pass
+// gathers through the shared full-table index instead of re-binning the
+// dimension column, and the index it builds is the same one the exact
+// refinement scans reuse later.
 func (g *Generator) statsFor(t *dataset.Table, cache *lazyCache[layoutKey, *Stats], k layoutKey, rows []int) (*Stats, error) {
 	return cache.get(k, func() (*Stats, error) {
+		binCache := &g.refBins
+		if t == g.Target {
+			binCache = &g.tgtBins
+		}
+		bins, err := g.binsFor(t, binCache, k)
+		if err != nil {
+			return nil, err
+		}
 		if rows == nil {
-			binCache := &g.refBins
-			if t == g.Target {
-				binCache = &g.tgtBins
-			}
-			bins, err := g.binsFor(t, binCache, k)
-			if err != nil {
-				return nil, err
-			}
 			return CollectStatsIndexed(t, g.layouts[k], t.Schema.Measures(), bins)
 		}
-		return CollectStats(t, g.layouts[k], t.Schema.Measures(), rows)
+		return CollectStatsSampled(t, g.layouts[k], t.Schema.Measures(), rows, bins)
 	})
 }
 
