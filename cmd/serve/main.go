@@ -34,11 +34,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		gen      = flag.String("dataset", "diab", "preload a generated dataset: diab, syn, nba or none")
-		rows     = flag.Int("rows", 20_000, "rows for the generated dataset")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		cacheDir = flag.String("cache-dir", "", "directory for offline-result snapshots and the session journal (empty = in-memory cache only, sessions do not survive restarts)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gen        = flag.String("dataset", "diab", "preload a generated dataset: diab, syn, nba or none")
+		rows       = flag.Int("rows", 20_000, "rows for the generated dataset")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		cacheDir   = flag.String("cache-dir", "", "directory for offline-result snapshots and the session journal (empty = in-memory cache only, sessions do not survive restarts)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline: the handler's context is cancelled and the client gets 503 when a request runs longer (0 disables)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -117,7 +118,27 @@ func main() {
 	}
 	fmt.Println(")")
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	// Slow-client defence: bound how long reading a request and writing a
+	// response may take, independent of handler work, so a stalled peer
+	// cannot pin a connection (and its goroutine) forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	if *reqTimeout > 0 {
+		// TimeoutHandler puts the deadline on r.Context(): a session whose
+		// offline phase overruns is cancelled mid-computation (see the
+		// failure-semantics contract in DESIGN.md) and the client gets 503.
+		// WriteTimeout sits a little beyond it so the 503 itself can still
+		// be written.
+		httpSrv.Handler = http.TimeoutHandler(handler, *reqTimeout,
+			`{"error":"request exceeded the server's -request-timeout deadline"}`)
+		httpSrv.WriteTimeout = *reqTimeout + 5*time.Second
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
@@ -139,6 +160,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		}
+		// Shutdown makes ListenAndServe return: drain its error so an
+		// abnormal listener exit is still reported, not swallowed.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve: listener:", err)
 		}
 	}
 	if journal != nil {

@@ -46,6 +46,12 @@ type Config struct {
 	// selects runtime.NumCPU(); 1 forces sequential refinement (required
 	// when custom utility features are not safe for concurrent use).
 	Workers int
+	// RefineHook, when non-nil, is called once per feature row the
+	// incremental refiner refreshes, with the view index. It exists so
+	// cancellation tests and instrumentation can observe refinement
+	// progress; it runs on the refresh worker goroutines and must be safe
+	// for concurrent use when Workers != 1.
+	RefineHook func(viewIdx int)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -49,6 +51,7 @@ func NewSeeker(m *feature.Matrix, cfg Config, withRefinement bool) (*Seeker, err
 	if withRefinement {
 		s.refiner = optimize.NewRefiner(m)
 		s.refiner.Workers = cfg.Workers
+		s.refiner.OnRow = cfg.RefineHook
 	}
 	return s, nil
 }
@@ -90,11 +93,25 @@ func (s *Seeker) NextViews() ([]int, error) {
 // refinement budget, and refits the view utility estimator on everything
 // labelled so far.
 func (s *Seeker) Feedback(viewIdx int, label float64) error {
+	return s.FeedbackCtx(context.Background(), viewIdx, label)
+}
+
+// FeedbackCtx is Feedback under a context. The cancellation contract keeps
+// session state consistent: a context that is already done on entry
+// records nothing and returns its error, while cancellation observed
+// mid-call only aborts the optional incremental refinement — it is
+// latency-hiding work, so stopping it is equivalent to an exhausted
+// budget — and the label recording and estimator refit still complete.
+// Either way the caller never sees a half-applied label.
+func (s *Seeker) FeedbackCtx(ctx context.Context, viewIdx int, label float64) error {
 	if viewIdx < 0 || viewIdx >= s.matrix.Len() {
 		return fmt.Errorf("core: view index %d out of range [0, %d)", viewIdx, s.matrix.Len())
 	}
 	if label < 0 || label > 1 {
 		return fmt.Errorf("core: label %g outside [0, 1]", label)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if _, dup := s.labeled[viewIdx]; !dup {
 		s.order = append(s.order, viewIdx)
@@ -113,8 +130,13 @@ func (s *Seeker) Feedback(viewIdx int, label float64) error {
 	// Views that never reach the front of this queue are pruned: their
 	// exact features are simply never computed.
 	if s.refiner != nil && !s.refiner.Done() {
-		if _, err := s.refiner.Refine(s.refinePriority(viewIdx), s.cfg.RefineBudget); err != nil {
-			return err
+		if _, err := s.refiner.RefineCtx(ctx, s.refinePriority(viewIdx), s.cfg.RefineBudget); err != nil {
+			// Cancellation stops the optional work, not the feedback: rows
+			// already refreshed stay exact, and the refit below proceeds on
+			// the matrix as it stands. Real refresh failures still abort.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 		}
 	}
 	return s.refit()

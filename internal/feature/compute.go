@@ -1,6 +1,7 @@
 package feature
 
 import (
+	"context"
 	"fmt"
 
 	"viewseeker/internal/par"
@@ -36,7 +37,17 @@ func Compute(g *view.Generator, r *Registry) (*Matrix, error) {
 // features registered on r must be safe for concurrent use when
 // workers != 1 (the standard eight are pure).
 func ComputeWorkers(g *view.Generator, r *Registry, workers int) (*Matrix, error) {
-	return computeMatrix(g, r, nil, true, workers)
+	return ComputeWorkersCtx(context.Background(), g, r, workers)
+}
+
+// ComputeWorkersCtx is ComputeWorkers under a context. Cancellation is
+// checked between work items — layout scans during warming, per-view
+// feature vectors afterwards — never inside the row-level kernels, so the
+// overhead is amortised per item and a cancelled offline pass stops within
+// one item per worker. The partial matrix is discarded: the context's
+// error is returned and no session is built.
+func ComputeWorkersCtx(ctx context.Context, g *view.Generator, r *Registry, workers int) (*Matrix, error) {
+	return computeMatrix(ctx, g, r, nil, true, workers)
 }
 
 // ComputePartial builds the matrix from a uniform α-sample of the
@@ -55,16 +66,22 @@ func ComputePartial(g *view.Generator, r *Registry, alpha float64) (*Matrix, err
 // α-sample is a deterministic stride, so sampled matrices are also
 // bit-identical across worker counts).
 func ComputePartialWorkers(g *view.Generator, r *Registry, alpha float64, workers int) (*Matrix, error) {
+	return ComputePartialWorkersCtx(context.Background(), g, r, alpha, workers)
+}
+
+// ComputePartialWorkersCtx is ComputePartialWorkers under a context, with
+// ComputeWorkersCtx's cancellation semantics.
+func ComputePartialWorkersCtx(ctx context.Context, g *view.Generator, r *Registry, alpha float64, workers int) (*Matrix, error) {
 	if alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("feature: alpha must be in (0, 1], got %g", alpha)
 	}
 	if alpha == 1 {
-		return ComputeWorkers(g, r, workers)
+		return ComputeWorkersCtx(ctx, g, r, workers)
 	}
-	return computeMatrix(g, r, g.Ref.SampleRows(alpha), false, workers)
+	return computeMatrix(ctx, g, r, g.Ref.SampleRows(alpha), false, workers)
 }
 
-func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool, workers int) (*Matrix, error) {
+func computeMatrix(ctx context.Context, g *view.Generator, r *Registry, refRows []int, exact bool, workers int) (*Matrix, error) {
 	workers = par.Resolve(workers)
 	specs := g.Specs()
 	m := &Matrix{
@@ -84,14 +101,14 @@ func computeMatrix(g *view.Generator, r *Registry, refRows []int, exact bool, wo
 	pairOf := g.Pair
 	if refRows != nil {
 		run := g.NewSampledRun(refRows, nil)
-		if err := run.Warm(workers); err != nil {
+		if err := run.WarmCtx(ctx, workers); err != nil {
 			return nil, err
 		}
 		pairOf = run.Pair
-	} else if err := g.Warm(workers); err != nil {
+	} else if err := g.WarmCtx(ctx, workers); err != nil {
 		return nil, err
 	}
-	err := par.ForEach(len(specs), workers, func(i int) error {
+	err := par.ForEachCtx(ctx, len(specs), workers, func(i int) error {
 		p, err := pairOf(specs[i])
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,6 +34,12 @@ type Refiner struct {
 	// pre-parallel behaviour, also required when custom utility features
 	// are not safe for concurrent use).
 	Workers int
+	// OnRow, when non-nil, is called once per row successfully refreshed,
+	// with the row's view index — the observation hook cancellation tests
+	// and instrumentation count refinement progress through. It runs on the
+	// refresh worker goroutines, so it must be safe for concurrent use when
+	// Workers != 1.
+	OnRow func(viewIdx int)
 }
 
 // NewRefiner wraps a matrix.
@@ -49,6 +56,16 @@ func (r *Refiner) Done() bool { return r.Matrix.AllExact() }
 // budget is checked between batches, so at least MinPerCall rows — and at
 // most one extra batch — refresh even under a zero budget.
 func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
+	return r.RefineCtx(context.Background(), priority, budget)
+}
+
+// RefineCtx is Refine under a context: cancellation is honoured like an
+// expired budget, checked between batches and between rows inside a batch
+// (via par.ForEachCtx), so a cancelled call returns within one row per
+// worker. Rows already refreshed stay refreshed — refinement is
+// monotonic, so stopping early is always safe — and the context's error is
+// returned alongside the count.
+func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Duration) (int, error) {
 	if r.Matrix == nil {
 		return 0, fmt.Errorf("optimize: refiner has no matrix")
 	}
@@ -94,9 +111,18 @@ func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 		if refreshed >= minPer && !now().Before(deadline) {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return refreshed, err
+		}
 		b := batch
-		if err := par.ForEach(len(b), workers, func(j int) error {
-			return r.Matrix.RefreshRow(b[j])
+		if err := par.ForEachCtx(ctx, len(b), workers, func(j int) error {
+			if err := r.Matrix.RefreshRow(b[j]); err != nil {
+				return err
+			}
+			if r.OnRow != nil {
+				r.OnRow(b[j])
+			}
+			return nil
 		}); err != nil {
 			return refreshed, err
 		}

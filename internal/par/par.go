@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,14 +28,28 @@ func Resolve(workers int) int {
 // yet started are skipped; already-running calls finish before ForEach
 // returns.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach under a context: cancellation is checked between
+// work items — never inside fn, which owns whatever row-level loops it
+// runs — so a cancelled context stops the pool within one item per worker.
+// The first fn error or the context's error, whichever is observed first,
+// is returned; a pre-cancelled context starts no work at all. The
+// workers ≤ 1 path remains the exact sequential loop of ForEach with one
+// context check before each item.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -49,6 +64,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 	)
 	next.Store(-1)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -58,13 +81,12 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed.Store(true)
+					fail(err)
 					return
 				}
 			}

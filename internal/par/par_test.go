@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -74,5 +75,116 @@ func TestForEachSequentialStopsAtError(t *testing.T) {
 func TestForEachEmpty(t *testing.T) {
 	if err := ForEach(0, 4, func(i int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var calls atomic.Int32
+		err := ForEachCtx(ctx, 100, workers, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := calls.Load(); n != 0 {
+			t.Errorf("workers=%d: %d items ran under a pre-cancelled context", workers, n)
+		}
+	}
+}
+
+// TestForEachCtxCancelMidRun proves the acceptance bound: once the context
+// is cancelled, every worker exits within one work item — the item it was
+// already inside may finish, but no worker claims another.
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	const n, workers, cancelAt = 1000, 4, 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	err := ForEachCtx(ctx, n, workers, func(i int) error {
+		if calls.Add(1) == cancelAt {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At cancellation, at most workers items are in flight; each may finish
+	// but none may start afterwards.
+	if got := calls.Load(); got > cancelAt+workers {
+		t.Errorf("ran %d items, want ≤ %d (cancel at %d + %d in flight)",
+			got, cancelAt+workers, cancelAt, workers)
+	}
+}
+
+func TestForEachCtxSequentialCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	err := ForEachCtx(ctx, 100, 1, func(i int) error {
+		calls++
+		if i == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The item that cancelled finishes; the next context check fires before
+	// item 6 starts.
+	if calls != 6 {
+		t.Errorf("ran %d items, want exactly 6", calls)
+	}
+}
+
+// TestForEachCtxWorkersOneEquivalence pins that under a background context
+// the workers=1 path is the exact sequential loop: same call order, same
+// first-error behaviour as ForEach.
+func TestForEachCtxWorkersOneEquivalence(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(f func(n, workers int, fn func(int) error) error) (order []int, err error) {
+		err = f(20, 1, func(i int) error {
+			order = append(order, i)
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		return order, err
+	}
+	ctxRun := func(n, workers int, fn func(int) error) error {
+		return ForEachCtx(context.Background(), n, workers, fn)
+	}
+	plainOrder, plainErr := run(ForEach)
+	ctxOrder, ctxErr := run(ctxRun)
+	if !errors.Is(plainErr, boom) || !errors.Is(ctxErr, boom) {
+		t.Fatalf("errs = %v, %v", plainErr, ctxErr)
+	}
+	if len(plainOrder) != len(ctxOrder) {
+		t.Fatalf("call counts differ: %d vs %d", len(plainOrder), len(ctxOrder))
+	}
+	for i := range plainOrder {
+		if plainOrder[i] != ctxOrder[i] {
+			t.Fatalf("call order diverges at %d: %d vs %d", i, plainOrder[i], ctxOrder[i])
+		}
+	}
+}
+
+func TestForEachCtxErrorBeatsLateCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx := context.Background()
+	err := ForEachCtx(ctx, 50, 4, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
 	}
 }

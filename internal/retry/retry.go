@@ -1,0 +1,104 @@
+// Package retry implements bounded retry with exponential backoff and
+// deterministic jitter for the durability layer's disk writes: a journal
+// append or cache snapshot that hits a transient error (brief ENOSPC, NFS
+// hiccup, antivirus lock) is worth a few short retries before the caller
+// degrades to memory-only serving. The schedule is fully deterministic
+// under an injected Sleep and a fixed Seed, so degraded-mode tests can
+// assert exact timing.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one bounded retry schedule. The zero value is not
+// useful; start from Default and override.
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (values < 1 behave as 1: no retries).
+	Attempts int
+	// Base is the backoff before the second attempt; each further backoff
+	// doubles, capped at Max.
+	Base time.Duration
+	// Max caps a single backoff (0 = no cap).
+	Max time.Duration
+	// Jitter adds a uniformly random extra fraction of each backoff in
+	// [0, Jitter) — 0.5 means sleeps land in [d, 1.5d). Jitter decorrelates
+	// fleets of retriers; the randomness is seeded, so a fixed Seed makes
+	// the whole schedule reproducible.
+	Jitter float64
+	// Seed drives the jitter (same Seed, same schedule).
+	Seed int64
+	// Sleep is the sleeper between attempts (default time.Sleep);
+	// tests inject a recorder to assert the schedule without waiting.
+	Sleep func(time.Duration)
+}
+
+// Default is the durability layer's schedule: three tries a few
+// milliseconds apart — long enough to ride out a transient I/O hiccup,
+// short enough that a user request never notices the detour.
+func Default() Policy {
+	return Policy{Attempts: 3, Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Jitter: 0.5, Seed: 1}
+}
+
+// Backoff returns the pre-jitter backoff before attempt i (1-based: the
+// backoff slept after attempt i fails, before attempt i+1 runs).
+func (p Policy) Backoff(i int) time.Duration {
+	d := p.Base
+	for j := 1; j < i; j++ {
+		d *= 2
+		if d <= 0 || (p.Max > 0 && d >= p.Max) { // doubling overflow hits the cap too
+			return p.Max
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// Do runs fn up to Attempts times, sleeping the backoff schedule between
+// failures, and returns nil on the first success. Cancellation is honoured
+// between attempts: a done context stops retrying and returns the
+// context's error joined with the last attempt's. After exhaustion the
+// last error is returned wrapped with the attempt count.
+func (p Policy) Do(ctx context.Context, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var rng *rand.Rand
+	var lastErr error
+	for i := 1; ; i++ {
+		lastErr = fn()
+		if lastErr == nil {
+			return nil
+		}
+		if i >= attempts {
+			if attempts == 1 {
+				return lastErr
+			}
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, lastErr)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("retry: cancelled after attempt %d: %w", i, lastErr)
+		}
+		d := p.Backoff(i)
+		if p.Jitter > 0 && d > 0 {
+			if rng == nil {
+				rng = rand.New(rand.NewSource(p.Seed))
+			}
+			d += time.Duration(float64(d) * p.Jitter * rng.Float64())
+		}
+		if d > 0 {
+			sleep(d)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recorder captures the sleep schedule instead of waiting it out.
+type recorder struct{ slept []time.Duration }
+
+func (r *recorder) sleep(d time.Duration) { r.slept = append(r.slept, d) }
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	rec := &recorder{}
+	p := Policy{Attempts: 5, Base: time.Millisecond, Sleep: rec.sleep}
+	calls := 0
+	if err := p.Do(context.Background(), func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || len(rec.slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %v", calls, rec.slept)
+	}
+}
+
+func TestDoExponentialScheduleIsDeterministic(t *testing.T) {
+	boom := errors.New("disk full")
+	rec := &recorder{}
+	p := Policy{Attempts: 4, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Sleep: rec.sleep}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(rec.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", rec.slept, want)
+	}
+	for i := range want {
+		if rec.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, rec.slept[i], want[i])
+		}
+	}
+}
+
+func TestDoBackoffCap(t *testing.T) {
+	p := Policy{Attempts: 10, Base: 10 * time.Millisecond, Max: 25 * time.Millisecond}
+	if d := p.Backoff(1); d != 10*time.Millisecond {
+		t.Errorf("Backoff(1) = %v", d)
+	}
+	if d := p.Backoff(2); d != 20*time.Millisecond {
+		t.Errorf("Backoff(2) = %v", d)
+	}
+	if d := p.Backoff(3); d != 25*time.Millisecond {
+		t.Errorf("Backoff(3) = %v, want capped 25ms", d)
+	}
+	if d := p.Backoff(62); d != 25*time.Millisecond {
+		t.Errorf("Backoff(62) = %v, want cap on shift overflow", d)
+	}
+}
+
+func TestDoJitterBoundedAndSeedDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(seed int64) []time.Duration {
+		rec := &recorder{}
+		p := Policy{Attempts: 6, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+			Jitter: 0.5, Seed: seed, Sleep: rec.sleep}
+		_ = p.Do(context.Background(), func() error { return boom })
+		return rec.slept
+	}
+	a, b := run(7), run(7)
+	if len(a) != 5 {
+		t.Fatalf("slept %d times, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at sleep %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	p := Policy{Attempts: 6, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for i, d := range a {
+		lo := p.Backoff(i + 1)
+		hi := lo + time.Duration(float64(lo)*0.5)
+		if d < lo || d >= hi {
+			t.Errorf("sleep %d = %v outside [%v, %v)", i, d, lo, hi)
+		}
+	}
+	if c := run(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Errorf("different seeds produced the same schedule: %v", c)
+	}
+}
+
+func TestDoStopsRetryingOnCancelledContext(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &recorder{}
+	p := Policy{Attempts: 10, Base: time.Millisecond, Sleep: rec.sleep}
+	calls := 0
+	err := p.Do(ctx, func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) || !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (no attempts after cancellation)", calls)
+	}
+}
+
+func TestDoAttemptsFloor(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := (Policy{Attempts: 0}).Do(context.Background(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("err = %v, calls = %d", err, calls)
+	}
+}

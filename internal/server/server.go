@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	_ "embed"
 	"encoding/hex"
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -38,6 +40,11 @@ type Options struct {
 	// MaxBodyBytes caps POST request bodies (default 1 MiB); oversized
 	// requests get 413.
 	MaxBodyBytes int64
+	// RefineHook, when non-nil, is passed to every session's incremental
+	// refiner: it is called once per feature row refreshed during feedback
+	// handling (see viewseeker.Options.RefineHook). Tests use it to observe
+	// that a cancelled request stops refinement promptly.
+	RefineHook func(viewIdx int)
 }
 
 // defaultMaxBodyBytes bounds POST bodies: session configs and feedback
@@ -56,9 +63,10 @@ type Server struct {
 	// at construction, so warm session creation never rehashes the dataset.
 	tableHash map[string]string
 
-	cache   *store.Cache
-	journal *store.Journal
-	maxBody int64
+	cache      *store.Cache
+	journal    *store.Journal
+	maxBody    int64
+	refineHook func(viewIdx int)
 }
 
 type session struct {
@@ -76,12 +84,13 @@ func New(tables ...*viewseeker.Table) *Server {
 // NewWithOptions builds a server hosting the given tables.
 func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s := &Server{
-		tables:    make(map[string]*viewseeker.Table),
-		sessions:  make(map[string]*session),
-		tableHash: make(map[string]string),
-		cache:     opts.Cache,
-		journal:   opts.Journal,
-		maxBody:   opts.MaxBodyBytes,
+		tables:     make(map[string]*viewseeker.Table),
+		sessions:   make(map[string]*session),
+		tableHash:  make(map[string]string),
+		cache:      opts.Cache,
+		journal:    opts.Journal,
+		maxBody:    opts.MaxBodyBytes,
+		refineHook: opts.RefineHook,
 	}
 	if s.cache == nil {
 		s.cache = store.NewCache(0)
@@ -98,15 +107,16 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 
 // newSessionID returns an unguessable random session id: session ids are
 // the only credential guarding a session's state, so they must not be
-// enumerable the way sequential ids are.
-func newSessionID() string {
+// enumerable the way sequential ids are. An entropy failure is returned as
+// an error — the handler surfaces it as a 500 rather than crashing the
+// process or handing out a predictable id; the panic-recovery middleware
+// is the backstop for bugs, not part of this contract.
+func newSessionID() (string, error) {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand never fails on supported platforms; crashing beats
-		// silently handing out predictable ids.
-		panic(fmt.Sprintf("server: reading session id entropy: %v", err))
+		return "", fmt.Errorf("server: reading session id entropy: %w", err)
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b[:]), nil
 }
 
 // journalAppend best-effort records one session event: journal write
@@ -138,13 +148,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// Handler returns the HTTP handler serving the UI and the API.
+// Handler returns the HTTP handler serving the UI and the API, wrapped in
+// the panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write(indexHTML)
 	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /api/tables", s.handleTables)
 	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
@@ -155,7 +167,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/svg", s.withSession(s.handleViewSVG))
 	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/explain", s.withSession(s.handleViewExplain))
 	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
-	return mux
+	return recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a logged stack plus a 500,
+// instead of killing the whole process (and with it every other session).
+// http.ErrAbortHandler is re-raised: it is net/http's sanctioned way to
+// abort a response and must keep its meaning.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote a status line this
+			// header is a no-op, but the connection still closes with the
+			// truncated body rather than the process dying.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// healthComponent is one durability component's state in GET /healthz.
+type healthComponent struct {
+	// Enabled reports whether the component is configured at all (a
+	// journal is optional; the cache may be memory-only).
+	Enabled bool `json:"enabled"`
+	// Degraded reports whether the component's last disk write exhausted
+	// its retries: the server keeps serving, but without durability.
+	Degraded bool `json:"degraded"`
+}
+
+// healthResponse is the GET /healthz body. Status is "ok" or "degraded" —
+// degraded means the server answers every request correctly but some
+// state written now would not survive a restart.
+type healthResponse struct {
+	Status   string          `json:"status"`
+	Journal  healthComponent `json:"journal"`
+	Cache    healthComponent `json:"cache"`
+	Sessions int             `json:"sessions"`
+}
+
+// Degraded reports whether any configured durability component is
+// currently failing its disk writes.
+func (s *Server) Degraded() bool {
+	if s.journal != nil && s.journal.Degraded() {
+		return true
+	}
+	return s.cache.Degraded()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	s.mu.Unlock()
+	resp := healthResponse{
+		Status:   "ok",
+		Journal:  healthComponent{Enabled: s.journal != nil},
+		Cache:    healthComponent{Enabled: s.cache.DiskBacked()},
+		Sessions: sessions,
+	}
+	if s.journal != nil {
+		resp.Journal.Degraded = s.journal.Degraded()
+	}
+	resp.Cache.Degraded = s.cache.Degraded()
+	if resp.Journal.Degraded || resp.Cache.Degraded {
+		resp.Status = "degraded"
+	}
+	// Degraded is still 200: the service is serving; load balancers that
+	// should drain on lost durability can key off the body.
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -214,6 +301,11 @@ type sessionInfo struct {
 	// Cached reports whether the session's offline phase was served from
 	// the shared offline-result cache instead of being computed.
 	Cached bool `json:"cached"`
+	// Degraded mirrors GET /healthz: true while any durability component
+	// (journal, cache snapshots) is failing its disk writes, so interactive
+	// clients learn about lost durability without polling the health
+	// endpoint.
+	Degraded bool `json:"degraded"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -229,18 +321,35 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
 		return
 	}
-	seeker, err := viewseeker.New(table, req.Query, viewseeker.Options{
+	seeker, err := viewseeker.NewCtx(r.Context(), table, req.Query, viewseeker.Options{
 		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
 		Workers: req.Workers, Cache: s.cache, RefHash: refHash,
+		RefineHook: s.refineHook,
 	})
 	if err != nil {
+		// A cancelled or timed-out request abandoned its offline phase: that
+		// is the server protecting itself, not a bad request, so report it
+		// as 503 (the client may retry with a longer deadline).
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	id, err := newSessionID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	s.mu.Lock()
-	id := newSessionID()
 	for s.sessions[id] != nil { // 64-bit collisions are theoretical, but free to rule out
-		id = newSessionID()
+		s.mu.Unlock()
+		if id, err = newSessionID(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.mu.Lock()
 	}
 	sess := &session{seeker: seeker, table: req.Table, query: req.Query}
 	s.sessions[id] = sess
@@ -258,6 +367,7 @@ func (s *Server) infoOf(id string, sess *session) sessionInfo {
 		ID: id, Table: sess.table, Query: sess.query,
 		NumViews: sess.seeker.NumViews(), NumLabels: sess.seeker.NumLabels(),
 		TargetRows: sess.seeker.Target().NumRows(), Cached: sess.seeker.CacheHit(),
+		Degraded: s.Degraded(),
 	}
 }
 
@@ -373,7 +483,15 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id strin
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if err := sess.seeker.Feedback(req.Index, req.Label); err != nil {
+	if err := sess.seeker.FeedbackCtx(r.Context(), req.Index, req.Label); err != nil {
+		// A context done before the label landed means nothing was recorded
+		// (see core.Seeker.FeedbackCtx): 503, the client may retry. Once the
+		// label lands, cancellation only curtails optional refinement and the
+		// call succeeds.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -384,12 +502,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id strin
 type topResponse struct {
 	NumLabels int        `json:"numLabels"`
 	Top       []viewJSON `json:"top"`
+	// Degraded mirrors GET /healthz (see sessionInfo.Degraded): feedback
+	// responses carry it so a client learns within one interaction that its
+	// labels are no longer being journalled.
+	Degraded bool `json:"degraded"`
 }
 
 func (s *Server) topOf(sess *session) topResponse {
 	// Top starts as an empty slice, not nil: before the first feedback the
 	// client must still receive "top": [], never "top": null.
-	resp := topResponse{NumLabels: sess.seeker.NumLabels(), Top: []viewJSON{}}
+	resp := topResponse{NumLabels: sess.seeker.NumLabels(), Top: []viewJSON{}, Degraded: s.Degraded()}
 	for _, v := range sess.seeker.TopK() {
 		vj := viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score}
 		if query, err := sess.seeker.SQL(v.Index); err == nil {

@@ -2,12 +2,15 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"viewseeker/internal/faultfs"
+	"viewseeker/internal/retry"
 	"viewseeker/internal/view"
 )
 
@@ -78,12 +81,21 @@ func (r *OfflineResult) clone() *OfflineResult {
 // for concurrent use. Entries are immutable once stored: invalidation is
 // purely by addressing (any input change produces a different
 // fingerprint), so there is no explicit invalidation API.
+//
+// Failure semantics: snapshot writes retry on a bounded backoff schedule;
+// exhaustion marks the cache Degraded and keeps the in-memory entry — the
+// cache degrades to memory-only rather than failing sessions. The next
+// successful snapshot write clears the flag.
 type Cache struct {
 	mu   sync.Mutex
 	cap  int
 	dir  string // "" = memory only
+	fs   faultfs.FS
 	ll   *list.List
 	byFP map[string]*list.Element
+
+	policy   retry.Policy
+	degraded atomic.Bool
 
 	hits, misses, evictions int64
 }
@@ -104,7 +116,10 @@ func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache{cap: capacity, ll: list.New(), byFP: make(map[string]*list.Element)}
+	return &Cache{
+		cap: capacity, fs: faultfs.OS{}, policy: retry.Default(),
+		ll: list.New(), byFP: make(map[string]*list.Element),
+	}
 }
 
 // Open returns a cache whose entries are additionally snapshotted under
@@ -112,13 +127,34 @@ func NewCache(capacity int) *Cache {
 // an LRU-evicted or not-yet-loaded entry is transparently reloaded on Get.
 // The directory is created if missing.
 func Open(dir string, capacity int) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(faultfs.OS{}, dir, capacity)
+}
+
+// OpenFS is Open over an explicit filesystem — the fault-injection seam.
+func OpenFS(fs faultfs.FS, dir string, capacity int) (*Cache, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating cache dir: %w", err)
 	}
 	c := NewCache(capacity)
 	c.dir = dir
+	c.fs = fs
 	return c, nil
 }
+
+// SetRetryPolicy replaces the snapshot-write retry schedule.
+func (c *Cache) SetRetryPolicy(p retry.Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// Degraded reports whether the last snapshot write exhausted its retries:
+// the cache keeps serving from memory, but entries stored while the flag
+// is set will not survive a restart.
+func (c *Cache) Degraded() bool { return c.degraded.Load() }
+
+// DiskBacked reports whether the cache snapshots entries to disk.
+func (c *Cache) DiskBacked() bool { return c.dir != "" }
 
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
@@ -149,7 +185,7 @@ func (c *Cache) Get(fp string) (*OfflineResult, bool) {
 	// Disk load happens outside the lock: decoding a snapshot is slow
 	// relative to a map hit and must not serialise unrelated sessions.
 	if c.dir != "" {
-		if res, err := readSnapshot(c.snapshotPath(fp), fp); err == nil {
+		if res, err := readSnapshot(c.fs, c.snapshotPath(fp), fp); err == nil {
 			c.mu.Lock()
 			c.insert(fp, res.clone())
 			c.hits++
@@ -165,9 +201,10 @@ func (c *Cache) Get(fp string) (*OfflineResult, bool) {
 
 // Put stores a result. The entry is deep-copied, snapshotted to disk when
 // a backend is configured, and may evict the least-recently-used entry
-// from memory (never from disk). A disk write failure leaves the memory
-// entry in place and is returned for logging; callers may ignore it — the
-// cache degrades to memory-only.
+// from memory (never from disk). A disk write failure is retried on the
+// cache's backoff schedule; exhaustion leaves the memory entry in place,
+// marks the cache Degraded, and returns the error for logging — callers
+// may ignore it, the cache keeps serving memory-only.
 func (c *Cache) Put(fp string, res *OfflineResult) error {
 	if err := res.validate(); err != nil {
 		return err
@@ -175,11 +212,17 @@ func (c *Cache) Put(fp string, res *OfflineResult) error {
 	stored := res.clone()
 	c.mu.Lock()
 	c.insert(fp, stored)
+	policy := c.policy
 	c.mu.Unlock()
 	if c.dir != "" {
-		if err := writeSnapshot(c.snapshotPath(fp), fp, stored); err != nil {
+		err := policy.Do(context.Background(), func() error {
+			return writeSnapshot(c.fs, c.snapshotPath(fp), fp, stored)
+		})
+		if err != nil {
+			c.degraded.Store(true)
 			return fmt.Errorf("store: writing snapshot: %w", err)
 		}
+		c.degraded.Store(false)
 	}
 	return nil
 }
@@ -216,12 +259,12 @@ type snapshot struct {
 
 const snapshotVersion = 1
 
-func writeSnapshot(path, fp string, res *OfflineResult) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".vscache-*")
+func writeSnapshot(fs faultfs.FS, path, fp string, res *OfflineResult) error {
+	tmp, err := fs.CreateTemp(filepath.Dir(path), ".vscache-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fs.Remove(tmp.Name())
 	err = gob.NewEncoder(tmp).Encode(snapshot{Version: snapshotVersion, Fingerprint: fp, Result: *res})
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
@@ -231,34 +274,34 @@ func writeSnapshot(path, fp string, res *OfflineResult) error {
 	}
 	// Atomic publish: a crash mid-write leaves only a temp file, never a
 	// truncated snapshot under the real name.
-	return os.Rename(tmp.Name(), path)
+	return fs.Rename(tmp.Name(), path)
 }
 
 // readSnapshot loads and validates one disk entry. Any failure — missing
 // file, truncation, version skew, fingerprint mismatch, shape corruption —
 // quarantines the file (best effort) and reports an error; the caller
 // treats it as a miss and recomputes, never crashes.
-func readSnapshot(path, fp string) (*OfflineResult, error) {
-	f, err := os.Open(path)
+func readSnapshot(fs faultfs.FS, path, fp string) (*OfflineResult, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	var snap snapshot
 	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, fmt.Errorf("store: decoding snapshot %s: %w", filepath.Base(path), err)
 	}
 	if snap.Version != snapshotVersion {
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, fmt.Errorf("store: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
 	if snap.Fingerprint != fp {
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, fmt.Errorf("store: snapshot fingerprint mismatch")
 	}
 	if err := snap.Result.validate(); err != nil {
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, err
 	}
 	return &snap.Result, nil

@@ -2,10 +2,15 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+
+	"viewseeker/internal/faultfs"
+	"viewseeker/internal/retry"
 )
 
 // Journal record operations.
@@ -40,27 +45,63 @@ type Record struct {
 
 // Journal is an append-only log of session records, one JSON object per
 // line. Appends are atomic at the line level (a single write call each),
-// and ReadJournal tolerates a torn final line, so a crash mid-append loses
-// at most the record being written. Safe for concurrent use.
+// and ReadJournal tolerates torn lines, so a crash mid-append loses at
+// most the record being written. Safe for concurrent use.
+//
+// Failure semantics: a failed append is retried on a bounded
+// exponential-backoff schedule (SetRetryPolicy); once the schedule is
+// exhausted the error is returned and the journal marks itself Degraded.
+// The file stays open — the next append retries from scratch, and its
+// success clears the degraded flag, so a transient disk fault costs only
+// the records written while it lasted. A write that persisted some bytes
+// before failing leaves a torn line; the journal terminates it with a
+// newline before the next record so one torn write never corrupts the
+// records after it.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu      sync.Mutex
+	f       faultfs.File
+	path    string
+	midLine bool // last write failed after persisting part of a line
+	policy  retry.Policy
+
+	degraded atomic.Bool
 }
 
 // OpenJournal opens (creating if needed) an append-only journal at path.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenJournalFS(faultfs.OS{}, path)
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem — the
+// fault-injection seam.
+func OpenJournalFS(fs faultfs.FS, path string) (*Journal, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening journal: %w", err)
 	}
-	return &Journal{f: f, path: path}, nil
+	return &Journal{f: f, path: path, policy: retry.Default()}, nil
 }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes one record.
+// SetRetryPolicy replaces the append retry schedule (tests inject a
+// recording sleeper to assert deterministic backoff timing).
+func (j *Journal) SetRetryPolicy(p retry.Policy) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.policy = p
+}
+
+// Degraded reports whether the last append exhausted its retries: the
+// journal is still accepting appends, but records written while the flag
+// is set were lost and will not survive a restart.
+func (j *Journal) Degraded() bool { return j.degraded.Load() }
+
+// Append writes one record, retrying transient failures on the journal's
+// backoff schedule. On success the degraded flag clears; on exhaustion it
+// sets and the last write error is returned — callers deciding to keep
+// serving without durability (the HTTP server does) log it and move on.
 func (j *Journal) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -72,8 +113,30 @@ func (j *Journal) Append(rec Record) error {
 	if j.f == nil {
 		return fmt.Errorf("store: journal is closed")
 	}
-	_, err = j.f.Write(line)
-	return err
+	err = j.policy.Do(context.Background(), func() error {
+		payload := line
+		if j.midLine {
+			// Terminate the torn fragment a previous partial write left, so
+			// the replay scanner sees one malformed line, not a corrupted
+			// merge of fragment and record.
+			payload = append([]byte{'\n'}, line...)
+		}
+		n, werr := j.f.Write(payload)
+		if werr != nil {
+			if n > 0 {
+				j.midLine = true
+			}
+			return werr
+		}
+		j.midLine = false
+		return nil
+	})
+	if err != nil {
+		j.degraded.Store(true)
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	j.degraded.Store(false)
+	return nil
 }
 
 // Sync flushes appended records to stable storage.
@@ -102,11 +165,19 @@ func (j *Journal) Close() error {
 }
 
 // ReadJournal loads every well-formed record from a journal file. A
-// missing file is an empty journal. Reading stops silently at the first
-// malformed line — by construction that is a torn final append from a
-// crash, and everything before it is intact.
+// missing file is an empty journal. Malformed or unrecognised lines are
+// skipped, not fatal: a torn tail from a crash and torn interior lines
+// from a disk fault mid-append (each terminated by the next successful
+// append, see Journal.Append) both cost only the record being written —
+// every record journalled around them survives. Records are whole lines,
+// so a skipped fragment can never merge two surviving records.
 func ReadJournal(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	return ReadJournalFS(faultfs.OS{}, path)
+}
+
+// ReadJournalFS is ReadJournal over an explicit filesystem.
+func ReadJournalFS(fs faultfs.FS, path string) ([]Record, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -120,12 +191,12 @@ func ReadJournal(path string) ([]Record, error) {
 	for sc.Scan() {
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			break
+			continue
 		}
 		switch rec.Op {
 		case OpCreate, OpFeedback, OpDelete:
 		default:
-			return out, nil
+			continue
 		}
 		out = append(out, rec)
 	}

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 
 	"viewseeker/internal/dataset"
@@ -163,9 +164,11 @@ type warmJob struct {
 // runWarm executes warm jobs over a bounded worker pool. Scans are
 // independent per (table, layout) and single-flight in the caches, so
 // results are identical to the lazy path; warming just front-loads them
-// concurrently.
-func (g *Generator) runWarm(jobs []warmJob, workers int) error {
-	return par.ForEach(len(jobs), workers, func(i int) error {
+// concurrently. Cancellation is checked between jobs, never inside a scan:
+// a layout scan either completes and is cached, or never starts — a
+// cancelled warm pass can never poison the caches with partial results.
+func (g *Generator) runWarm(ctx context.Context, jobs []warmJob, workers int) error {
+	return par.ForEachCtx(ctx, len(jobs), workers, func(i int) error {
 		j := jobs[i]
 		_, err := g.statsFor(j.t, j.cache, j.k, j.rows)
 		return err
@@ -177,11 +180,17 @@ func (g *Generator) runWarm(jobs []warmJob, workers int) error {
 // worker goroutines (≤ 1 means sequential). Already-cached layouts cost
 // nothing. Like every generator method it is safe to call concurrently.
 func (g *Generator) Warm(workers int) error {
+	return g.WarmCtx(context.Background(), workers)
+}
+
+// WarmCtx is Warm under a context: cancellation stops the pass between
+// layout scans with the context's error.
+func (g *Generator) WarmCtx(ctx context.Context, workers int) error {
 	jobs := make([]warmJob, 0, 2*len(g.layouts))
 	for k := range g.layouts {
 		jobs = append(jobs, warmJob{g.Ref, &g.refStats, nil, k}, warmJob{g.Target, &g.tgtStats, nil, k})
 	}
-	return g.runWarm(jobs, workers)
+	return g.runWarm(ctx, jobs, workers)
 }
 
 // binsFor returns (building lazily) the dictionary-encoded bin column of
@@ -285,13 +294,18 @@ func (r *SampledRun) Pair(s Spec) (*Pair, error) {
 // that parallel partial feature passes front-load their layout scans
 // concurrently too.
 func (r *SampledRun) Warm(workers int) error {
+	return r.WarmCtx(context.Background(), workers)
+}
+
+// WarmCtx is Warm under a context, with Generator.WarmCtx's semantics.
+func (r *SampledRun) WarmCtx(ctx context.Context, workers int) error {
 	jobs := make([]warmJob, 0, 2*len(r.g.layouts))
 	for k := range r.g.layouts {
 		jobs = append(jobs,
 			warmJob{r.g.Ref, &r.refStats, r.refRows, k},
 			warmJob{r.g.Target, &r.tgtStats, r.tgtRows, k})
 	}
-	return r.g.runWarm(jobs, workers)
+	return r.g.runWarm(ctx, jobs, workers)
 }
 
 func (g *Generator) pair(s Spec, refCache, tgtCache *lazyCache[layoutKey, *Stats], refRows, tgtRows []int) (*Pair, error) {

@@ -19,6 +19,7 @@ package viewseeker
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -226,6 +227,13 @@ type Options struct {
 	// stale value addresses the wrong cache entries and silently serves
 	// another dataset's view space. Ignored when Cache is nil.
 	RefHash string
+	// RefineHook, when non-nil, is called once per feature row the
+	// incremental refiner refreshes (with the view index). It only fires
+	// for α-sampled sessions, runs on the refinement worker goroutines
+	// (make it concurrency-safe unless Workers == 1), and exists so that
+	// cancellation tests and latency instrumentation can observe the
+	// refinement work a request triggers.
+	RefineHook func(viewIdx int)
 }
 
 // View is one recommended or presented view with its current score.
@@ -313,6 +321,17 @@ func runExplorationQuery(table *Table, query string) (*Table, error) {
 // target subset alongside the matrix, so a warm start skips query
 // execution as well as the offline pass.
 func New(table *Table, query string, opts Options) (*Seeker, error) {
+	return NewCtx(context.Background(), table, query, opts)
+}
+
+// NewCtx is New under a context: the offline feature pass — the dominant
+// cost of session construction — checks for cancellation between work
+// items (layout scans, per-view feature vectors), so a disconnected client
+// or an expired deadline stops the scan within one item per worker instead
+// of burning cores on a session nobody is waiting for. A cancelled
+// construction returns the context's error and no session; the shared
+// cache is never filled with partial results.
+func NewCtx(ctx context.Context, table *Table, query string, opts Options) (*Seeker, error) {
 	if table == nil {
 		return nil, fmt.Errorf("viewseeker: nil table")
 	}
@@ -321,7 +340,7 @@ func New(table *Table, query string, opts Options) (*Seeker, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewFromTables(table, target, opts)
+		return NewFromTablesCtx(ctx, table, target, opts)
 	}
 	registry, err := buildRegistry(opts)
 	if err != nil {
@@ -351,7 +370,7 @@ func New(table *Table, query string, opts Options) (*Seeker, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewFromTables(table, target, opts) // fills the content-addressed entry
+	s, err := NewFromTablesCtx(ctx, table, target, opts) // fills the content-addressed entry
 	if err != nil {
 		return nil, err
 	}
@@ -372,6 +391,12 @@ func New(table *Table, query string, opts Options) (*Seeker, error) {
 // entries on this path are addressed by the target subset's contents, so
 // textually different queries selecting the same rows share them.
 func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
+	return NewFromTablesCtx(context.Background(), ref, target, opts)
+}
+
+// NewFromTablesCtx is NewFromTables under a context, with NewCtx's
+// cancellation semantics.
+func NewFromTablesCtx(ctx context.Context, ref, target *Table, opts Options) (*Seeker, error) {
 	if ref == nil || target == nil {
 		return nil, fmt.Errorf("viewseeker: nil table")
 	}
@@ -418,9 +443,9 @@ func NewFromTables(ref, target *Table, opts Options) (*Seeker, error) {
 	}
 	var matrix *feature.Matrix
 	if withRefinement {
-		matrix, err = feature.ComputePartialWorkers(gen, registry, alpha, opts.Workers)
+		matrix, err = feature.ComputePartialWorkersCtx(ctx, gen, registry, alpha, opts.Workers)
 	} else {
-		matrix, err = feature.ComputeWorkers(gen, registry, opts.Workers)
+		matrix, err = feature.ComputeWorkersCtx(ctx, gen, registry, opts.Workers)
 	}
 	if err != nil {
 		return nil, err
@@ -473,7 +498,7 @@ func finishSession(ref, target *Table, opts Options, registry *feature.Registry,
 	}
 	inner, err := core.NewSeeker(matrix, core.Config{
 		K: opts.K, M: opts.M, Strategy: strategy, ColdStartSeed: opts.Seed,
-		Workers: opts.Workers,
+		Workers: opts.Workers, RefineHook: opts.RefineHook,
 	}, withRefinement)
 	if err != nil {
 		return nil, err
@@ -538,6 +563,14 @@ func (s *Seeker) viewAt(idx int) View {
 // the utility estimator.
 func (s *Seeker) Feedback(index int, label float64) error {
 	return s.inner.Feedback(index, label)
+}
+
+// FeedbackCtx is Feedback under a context: cancellation aborts only the
+// optional incremental refinement (a done context on entry records
+// nothing); the label and the estimator refit always land together, so the
+// session never holds a half-applied label. See core.Seeker.FeedbackCtx.
+func (s *Seeker) FeedbackCtx(ctx context.Context, index int, label float64) error {
+	return s.inner.FeedbackCtx(ctx, index, label)
 }
 
 // NumLabels returns how many labels have been given.
