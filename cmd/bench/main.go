@@ -6,12 +6,20 @@
 // verifies the flat and reference kernels produce bit-identical statistics
 // on the benchmark tables.
 //
+// With -obs the report additionally carries an observability section: a
+// full offline phase (cold, then warm from the cache) is run under an
+// instrumented context and the registry is read back for worker occupancy
+// and cache hit rate. The kernel benchmarks themselves always run without
+// an observability context, so -obs never perturbs the tracked numbers;
+// without the flag the section is omitted and the document is unchanged.
+//
 // Usage:
 //
-//	go run ./cmd/bench [-rows 50000,200000] [-alpha 0.1] [-o BENCH_offline.json]
+//	go run ./cmd/bench [-rows 50000,200000] [-alpha 0.1] [-obs] [-o BENCH_offline.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,8 +29,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"viewseeker"
 	"viewseeker/internal/dataset"
+	"viewseeker/internal/obs"
+	"viewseeker/internal/store"
 	"viewseeker/internal/view"
 )
 
@@ -49,12 +61,39 @@ type report struct {
 	Baseline map[string]int64   `json:"baseline_pre_kernels_ns_per_op"`
 	Results  []result           `json:"results"`
 	Speedups map[string]float64 `json:"speedups"`
+	// Obs is the -obs observability section; omitted without the flag so
+	// the tracked document's schema is unchanged by default.
+	Obs *obsReport `json:"obs,omitempty"`
+}
+
+// obsReport is what -obs reads back from the metrics registry after an
+// instrumented cold+warm offline phase.
+type obsReport struct {
+	Rows    int `json:"rows"`
+	Workers int `json:"workers"`
+	// WallSeconds covers both sessions: the cold offline phase plus the
+	// warm cache-served one.
+	WallSeconds float64 `json:"wall_seconds"`
+	// BusySeconds is the sum of per-item worker time
+	// (viewseeker_par_item_seconds_sum): total time workers spent inside
+	// feature jobs rather than waiting.
+	BusySeconds float64 `json:"par_busy_seconds"`
+	// Occupancy is BusySeconds / (cold-phase wall time × workers) — the
+	// fraction of the worker pool kept busy by the offline fan-out.
+	Occupancy      float64 `json:"worker_occupancy"`
+	ItemsScheduled int64   `json:"par_items_scheduled"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	WarmSessions   int64   `json:"sessions_warm"`
+	ColdSessions   int64   `json:"sessions_cold"`
 }
 
 func main() {
 	rowsFlag := flag.String("rows", "50000,200000", "comma-separated SYN scales to benchmark")
 	alpha := flag.Float64("alpha", 0.1, "sampling ratio for the α-pass benchmarks")
 	out := flag.String("o", "BENCH_offline.json", "output path")
+	obsMode := flag.Bool("obs", false, "run an instrumented cold+warm offline phase and report worker occupancy and cache hit rate from the metrics registry")
 	flag.Parse()
 
 	var scales []int
@@ -83,6 +122,9 @@ func main() {
 	for _, rows := range scales {
 		fmt.Fprintf(os.Stderr, "bench: SYN %d rows\n", rows)
 		rep.Results = append(rep.Results, benchScale(&rep, rows, *alpha)...)
+	}
+	if *obsMode {
+		rep.Obs = observeOffline(scales[len(scales)-1], *alpha)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -243,3 +285,54 @@ func mustEqual(want, got *view.Stats, kernel string) {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// observeOffline runs a cold offline phase and then a warm one against the
+// same shared cache, both under an instrumented context, and reads the
+// registry back. The occupancy it reports is the offline fan-out's actual
+// worker utilisation (busy seconds over wall seconds times pool size), and
+// the cache numbers pin the warm path: one miss from the cold session, one
+// hit from the warm one.
+func observeOffline(rows int, alpha float64) *obsReport {
+	reg := obs.NewRegistry()
+	ctx := obs.NewContext(context.Background(), reg, nil)
+	table := dataset.GenerateSYN(dataset.SYNConfig{Rows: rows, Seed: 1})
+	cache := store.NewCache(0)
+	cache.Instrument(reg)
+	workers := runtime.GOMAXPROCS(0)
+	opts := viewseeker.Options{Alpha: alpha, Cache: cache, Workers: workers}
+
+	coldStart := time.Now()
+	if _, err := viewseeker.NewCtx(ctx, table, dataset.SYNQuery, opts); err != nil {
+		log.Fatal(err)
+	}
+	coldWall := time.Since(coldStart)
+	warmStart := time.Now()
+	if _, err := viewseeker.NewCtx(ctx, table, dataset.SYNQuery, opts); err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(warmStart) + coldWall
+
+	snap := reg.Snapshot()
+	o := &obsReport{
+		Rows:           rows,
+		Workers:        workers,
+		WallSeconds:    wall.Seconds(),
+		BusySeconds:    snap["viewseeker_par_item_seconds_sum"],
+		ItemsScheduled: int64(snap["viewseeker_par_items_scheduled_total"]),
+		CacheHits:      int64(snap["viewseeker_store_cache_hits_total"]),
+		CacheMisses:    int64(snap["viewseeker_store_cache_misses_total"]),
+		WarmSessions:   int64(snap[`viewseeker_offline_sessions_total{result="warm"}`]),
+		ColdSessions:   int64(snap[`viewseeker_offline_sessions_total{result="cold"}`]),
+	}
+	if denom := coldWall.Seconds() * float64(workers); denom > 0 {
+		o.Occupancy = o.BusySeconds / denom
+	}
+	if total := o.CacheHits + o.CacheMisses; total > 0 {
+		o.CacheHitRate = float64(o.CacheHits) / float64(total)
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: obs SYN %d rows: occupancy %.2f (%d workers, %.2fs busy / %.2fs wall), cache hit rate %.2f (%d/%d)\n",
+		rows, o.Occupancy, workers, o.BusySeconds, wall.Seconds(), o.CacheHitRate,
+		o.CacheHits, o.CacheHits+o.CacheMisses)
+	return o
+}

@@ -8,9 +8,15 @@
 // history is journalled so interactive sessions survive a restart with
 // identical recommendations.
 //
+// Observability (see the Operations section of README.md): GET /metricz
+// serves Prometheus-format metrics and GET /debug/vars the same registry
+// as JSON plus recent phase traces; -pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/, and -trace-log
+// streams every completed root span as one JSON line to a file.
+//
 // Usage:
 //
-//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [name=path.csv ...]
+//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [-pprof] [-trace-log spans.jsonl] [name=path.csv ...]
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +47,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		cacheDir   = flag.String("cache-dir", "", "directory for offline-result snapshots and the session journal (empty = in-memory cache only, sessions do not survive restarts)")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline: the handler's context is cancelled and the client gets 503 when a request runs longer (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (off by default: profiles expose internals, so opt in explicitly)")
+		traceLog   = flag.String("trace-log", "", "append every completed phase trace as one JSON line to this file (empty = traces only in the in-memory ring at /debug/vars)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -94,6 +103,15 @@ func main() {
 		opts = server.Options{Cache: cache, Journal: journal}
 	}
 	srv := server.NewWithOptions(opts, tables...)
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: opening trace log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.Tracer().SetSink(f)
+	}
 	if journal != nil {
 		recs, err := store.ReadJournal(journal.Path())
 		if err != nil {
@@ -138,6 +156,22 @@ func main() {
 		httpSrv.Handler = http.TimeoutHandler(handler, *reqTimeout,
 			`{"error":"request exceeded the server's -request-timeout deadline"}`)
 		httpSrv.WriteTimeout = *reqTimeout + 5*time.Second
+	}
+	if *pprofOn {
+		// The pprof mux sits outside the timeout handler: a 30-second CPU
+		// profile is supposed to outlive -request-timeout. WriteTimeout is
+		// also lifted for the same reason — pprof is an operator opt-in, so
+		// trading the slow-client defence for working profiles is deliberate.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", httpSrv.Handler)
+		httpSrv.Handler = mux
+		httpSrv.WriteTimeout = 0
+		fmt.Printf("pprof enabled on http://%s/debug/pprof/\n", *addr)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -1,0 +1,18 @@
+// Package active implements the query strategies of ViewSeeker's
+// interactive phase: which unlabelled views to present to the user next.
+// The paper's choice is least-confidence uncertainty sampling [14] seeded
+// by a per-feature cold-start stage; random sampling, query-by-committee
+// and density-weighted selection are provided as baselines/extensions.
+//
+// # Contracts
+//
+// Determinism: every Strategy is a deterministic function of (rows,
+// labeled, m) and its own seed — Random draws from a seeded source, and
+// score-based strategies break ties by ascending view index — so a
+// replayed session selects the same views in the same order. The journal
+// replay in internal/store depends on this.
+//
+// Purity: Select never mutates rows or labeled; strategies may keep
+// private memoised state (cold-start cursor, density cache) but that
+// state is itself a pure function of the inputs seen so far.
+package active

@@ -1,8 +1,3 @@
-// Package active implements the query strategies of ViewSeeker's
-// interactive phase: which unlabelled views to present to the user next.
-// The paper's choice is least-confidence uncertainty sampling [14] seeded
-// by a per-feature cold-start stage; random sampling and query-by-committee
-// are provided as baselines/extensions.
 package active
 
 import (

@@ -1,7 +1,3 @@
-// Package core implements the ViewSeeker session loop of Algorithm 1: the
-// cold-start and uncertainty-sampling stages, the linear-regression view
-// utility estimator, top-k recommendation, and the hook into the
-// incremental feature refinement optimisation.
 package core
 
 import (

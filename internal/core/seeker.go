@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"viewseeker/internal/active"
 	"viewseeker/internal/feature"
 	"viewseeker/internal/ml"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/optimize"
 )
 
@@ -80,13 +82,39 @@ func (s *Seeker) InColdStart() bool { return !(s.havePositive && s.haveNegative)
 // walk until both a positive and a negative label exist, then the
 // configured query strategy. It returns nil when every view is labelled.
 func (s *Seeker) NextViews() ([]int, error) {
+	return s.NextViewsCtx(context.Background())
+}
+
+// NextViewsCtx is NextViews with per-iteration selection timing recorded
+// against the context's observability registry and tracer (the
+// active-learning layer's half of the interaction loop; FeedbackCtx
+// records the other half). Selection itself never blocks on the context —
+// it is pure in-memory ranking — so there is no cancellation semantics to
+// define here; the context only carries instrumentation.
+func (s *Seeker) NextViewsCtx(ctx context.Context) ([]int, error) {
 	if len(s.labeled) >= s.matrix.Len() {
 		return nil, nil
 	}
-	if s.InColdStart() {
-		return s.cold.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+	_, span := obs.StartSpan(ctx, "select")
+	defer span.End()
+	reg := obs.RegistryFrom(ctx)
+	start := time.Time{}
+	if reg != nil {
+		start = time.Now()
 	}
-	return s.cfg.Strategy.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+	var idxs []int
+	var err error
+	if s.InColdStart() {
+		idxs, err = s.cold.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+	} else {
+		idxs, err = s.cfg.Strategy.Select(s.matrix.Rows, s.labeled, s.cfg.M)
+	}
+	if reg != nil {
+		reg.Histogram("viewseeker_active_select_seconds", obs.DurationBuckets).
+			ObserveDuration(time.Since(start))
+		reg.Counter("viewseeker_active_selects_total").Inc()
+	}
+	return idxs, err
 }
 
 // Feedback records the user's label (0–1) for a view, runs the incremental
@@ -113,6 +141,9 @@ func (s *Seeker) FeedbackCtx(ctx context.Context, viewIdx int, label float64) er
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	ctx, span := obs.StartSpan(ctx, "feedback")
+	defer span.End()
+	obs.RegistryFrom(ctx).Counter("viewseeker_active_labels_total").Inc()
 	if _, dup := s.labeled[viewIdx]; !dup {
 		s.order = append(s.order, viewIdx)
 	}
@@ -138,6 +169,15 @@ func (s *Seeker) FeedbackCtx(ctx context.Context, viewIdx int, label float64) er
 				return err
 			}
 		}
+	}
+	_, refitSpan := obs.StartSpan(ctx, "feedback.refit")
+	defer refitSpan.End()
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Histogram("viewseeker_active_refit_seconds", obs.DurationBuckets).
+				ObserveDuration(time.Since(start))
+		}()
 	}
 	return s.refit()
 }

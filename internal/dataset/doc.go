@@ -1,0 +1,21 @@
+// Package dataset implements the in-memory columnar dataset engine that
+// underpins ViewSeeker: typed columns, schemas with dimension/measure
+// roles, tables with row- and column-oriented access, CSV import/export,
+// and the seeded generators for the SYN, DIAB and NBA workloads used
+// throughout the paper's evaluation.
+//
+// # Contracts
+//
+// Decode-once columns (DESIGN.md §9): Column.NumericView returns the
+// column as a flat []float64 plus a null bitmap (bit i of word i/64).
+// Float columns alias their backing slice — callers must not mutate the
+// view — while int and bool columns decode into a cache that rebuilds if
+// the column grows. The bitmap is the store of record for NULLs; IsNull
+// is two shifts and a bounds check.
+//
+// Bit-identity: the numeric view yields exactly the values the
+// row-at-a-time accessors yield, in the same row order, so scan kernels
+// built on either surface agree bit for bit. Generators are seeded and
+// platform-independent: the same (config, seed) always produces the same
+// table, which content-addressed caching and tracked benchmarks rely on.
+package dataset

@@ -1,8 +1,3 @@
-// Package dataset implements the in-memory columnar dataset engine that
-// underpins ViewSeeker: typed columns, schemas with dimension/measure roles,
-// tables with row- and column-oriented access, CSV import/export, and the
-// seeded generators for the SYN, DIAB and NBA workloads used throughout the
-// paper's evaluation.
 package dataset
 
 import (

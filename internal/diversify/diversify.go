@@ -1,10 +1,3 @@
-// Package diversify re-ranks top-k view recommendations for diversity,
-// after DiVE (Mafrur, Sharaf, Khan — "DiVE: Diversifying View
-// Recommendation for Visual Data Exploration", CIKM 2018), which the
-// paper's related-work section positions next to ViewSeeker: a recommender
-// that only maximises utility tends to return k near-duplicates of the
-// single best view. Maximal Marginal Relevance trades predicted utility
-// against similarity to the views already selected.
 package diversify
 
 import (

@@ -1,0 +1,15 @@
+// Package diversify re-ranks top-k view recommendations for diversity,
+// after DiVE (Mafrur, Sharaf, Khan — "DiVE: Diversifying View
+// Recommendation for Visual Data Exploration", CIKM 2018), which the
+// paper's related-work section positions next to ViewSeeker: a recommender
+// that only maximises utility tends to return k near-duplicates of the
+// single best view. Maximal Marginal Relevance trades predicted utility
+// against similarity to the views already selected.
+//
+// # Contracts
+//
+// MMR is pure and deterministic: it never mutates its inputs, ties break
+// by ascending index, and lambda = 1 reduces exactly to plain
+// top-k-by-score — the invariant the tests pin so diversification can be
+// enabled per-request without perturbing the default ranking.
+package diversify

@@ -1,9 +1,3 @@
-// Package exp reproduces the paper's evaluation: it assembles the DIAB and
-// SYN testbeds (Table 1), the simulated ideal utility functions (Table 2),
-// and one driver per figure — user effort to 100% precision (Figures 3–4),
-// the single-feature baseline comparison (Figure 5), and the optimisation
-// study (Figures 6–7). Each driver returns plain result structs; report.go
-// renders them as the text tables the cmd/experiments tool prints.
 package exp
 
 import (

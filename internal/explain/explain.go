@@ -1,10 +1,3 @@
-// Package explain turns a recommended view into reasons a person can act
-// on. Recommenders that only output "utility 0.83" leave the analyst to
-// reverse-engineer what the chart says; this package inspects a view pair
-// and produces ranked, natural-language findings — which bar drives the
-// deviation, whether the subset trends against the population, whether the
-// difference is statistically meaningful — in the spirit of the top-k
-// insight extraction work the paper draws its p-value component from [26].
 package explain
 
 import (

@@ -1,9 +1,3 @@
-// Package faultfs abstracts the narrow filesystem surface the durability
-// layer touches and provides a deterministic fault-injection wrapper over
-// it. Production code runs on OS (a zero-cost passthrough to package os);
-// tests wrap it in a Faulty to inject ENOSPC, torn writes and transient
-// errors at exact points — the only way to prove the degraded-mode serving
-// contract without unreliable tricks like full tmpfs partitions.
 package faultfs
 
 import (

@@ -3,7 +3,9 @@ package feature
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"viewseeker/internal/obs"
 	"viewseeker/internal/par"
 	"viewseeker/internal/view"
 )
@@ -98,17 +100,28 @@ func computeMatrix(ctx context.Context, g *view.Generator, r *Registry, refRows 
 	// concurrently first — full-data scans dominate the offline phase and
 	// are independent per (table, layout) — then fan the per-view feature
 	// vectors out over the same worker budget.
+	reg := obs.RegistryFrom(ctx)
+	warmCtx, warmSpan := obs.StartSpan(ctx, "offline.warm")
+	warmStart := time.Now()
 	pairOf := g.Pair
 	if refRows != nil {
 		run := g.NewSampledRun(refRows, nil)
-		if err := run.WarmCtx(ctx, workers); err != nil {
+		if err := run.WarmCtx(warmCtx, workers); err != nil {
+			warmSpan.End()
 			return nil, err
 		}
 		pairOf = run.Pair
-	} else if err := g.WarmCtx(ctx, workers); err != nil {
+	} else if err := g.WarmCtx(warmCtx, workers); err != nil {
+		warmSpan.End()
 		return nil, err
 	}
-	err := par.ForEachCtx(ctx, len(specs), workers, func(i int) error {
+	warmSpan.End()
+	reg.Histogram("viewseeker_offline_warm_seconds", obs.DurationBuckets).
+		ObserveDuration(time.Since(warmStart))
+
+	featCtx, featSpan := obs.StartSpan(ctx, "offline.features")
+	featStart := time.Now()
+	err := par.ForEachCtx(featCtx, len(specs), workers, func(i int) error {
 		p, err := pairOf(specs[i])
 		if err != nil {
 			return err
@@ -121,9 +134,13 @@ func computeMatrix(ctx context.Context, g *view.Generator, r *Registry, refRows 
 		m.Exact[i] = exact
 		return nil
 	})
+	featSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	reg.Histogram("viewseeker_offline_features_seconds", obs.DurationBuckets).
+		ObserveDuration(time.Since(featStart))
+	reg.Counter("viewseeker_offline_views_total").Add(int64(len(specs)))
 	return m, nil
 }
 

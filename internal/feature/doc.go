@@ -1,0 +1,25 @@
+// Package feature turns view pairs into utility-feature vectors — the
+// internal representation ViewSeeker trains on. Each feature is one
+// "utility component" from the literature (Section 3.1 of the paper lists
+// the eight the prototype ships); users may register custom components
+// for personalised analysis.
+//
+// # Contracts
+//
+// Cancellation (DESIGN.md §10): Compute and ComputePartial under a
+// cancelled context return (nil, ctx.Err()) — never a partial matrix.
+// Cancellation granularity is one view's feature row; a retry under a
+// live context is bit-identical to an uninterrupted run because the
+// single-flight caches below only ever hold completed scans.
+//
+// Bit-identity: the matrix is a deterministic function of (table, query
+// subset, view space, registry order, α-sample); worker count never
+// changes a byte — rows are computed into disjoint slots. Rows from an
+// α-sampled pass are flagged rough (Matrix.Exact[i] == false) and carry
+// the contract that refinement may later rewrite them in place with the
+// exact values; exact rows are final.
+//
+// Observability: computeMatrix records the warm and feature-pass phases
+// as spans plus duration histograms against the context's obs registry;
+// without one the pipeline is bit-identical to the uninstrumented path.
+package feature

@@ -1,8 +1,3 @@
-// Package feature turns view pairs into utility-feature vectors — the
-// internal representation ViewSeeker trains on. Each feature is one
-// "utility component" from the literature (Section 3.1 of the paper lists
-// the eight the prototype ships); users may register custom components for
-// personalised analysis.
 package feature
 
 import (

@@ -1,0 +1,12 @@
+// Package linalg provides the small dense linear-algebra kernel the ML
+// substrate needs: matrices, vectors, Gaussian elimination with partial
+// pivoting, and Cholesky decomposition for solving normal equations.
+//
+// # Contracts
+//
+// Everything here is pure float64 arithmetic with no randomness and no
+// goroutines: the same inputs produce the same bits on every run and
+// every platform Go's float64 semantics cover. Solvers return an error on
+// singular or non-positive-definite systems instead of producing NaNs,
+// so callers never train on silently garbage coefficients.
+package linalg

@@ -1,6 +1,3 @@
-// Package linalg provides the small dense linear-algebra kernel the ML
-// substrate needs: matrices, vectors, Gaussian elimination with partial
-// pivoting, and Cholesky decomposition for solving normal equations.
 package linalg
 
 import "fmt"

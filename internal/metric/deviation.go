@@ -1,10 +1,3 @@
-// Package metric implements the utility components ViewSeeker composes
-// into view utility features: the five deviation distances between a
-// target-view and a reference-view probability distribution (KL divergence,
-// Earth Mover's Distance, L1, L2, maximum per-bin deviation), the Usability
-// and Accuracy quality measures of MuVE, and the χ²-based p-value of
-// top-k-insights. All functions are pure and operate on normalised
-// distributions represented as []float64.
 package metric
 
 import (

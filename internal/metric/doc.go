@@ -1,0 +1,18 @@
+// Package metric implements the utility components ViewSeeker composes
+// into view utility features: the five deviation distances between a
+// target-view and a reference-view probability distribution (KL
+// divergence, Earth Mover's Distance, L1, L2, maximum per-bin deviation),
+// the Usability and Accuracy quality measures of MuVE, and the χ²-based
+// p-value of top-k-insights. All functions are pure and operate on
+// normalised distributions represented as []float64.
+//
+// # Contracts
+//
+// Purity and determinism: no state, no randomness, inputs never mutated —
+// the feature matrix built on these functions is a deterministic function
+// of its inputs, which content-addressed caching depends on. Distances
+// are defined for equal-length distributions and guard the usual edge
+// cases (zero bins in KL via smoothing, empty distributions) by returning
+// finite values rather than NaN/Inf, so one degenerate view can never
+// poison a whole feature column.
+package metric

@@ -1,0 +1,19 @@
+// Package ml implements the two learners ViewSeeker needs, from scratch
+// on top of internal/linalg: a ridge-regularised linear regression (the
+// view utility estimator) and a logistic regression trained by gradient
+// descent (the uncertainty estimator), plus the feature standardiser both
+// share.
+//
+// # Contracts
+//
+// Determinism: training has no randomness — ridge regression solves the
+// normal equations directly and logistic regression runs a fixed
+// gradient-descent schedule from a zero initialisation — so refitting on
+// the same labelling history reproduces the same weights bit for bit.
+// Session replay (internal/store) and the selection-determinism tests
+// rest on this.
+//
+// Fitting never mutates the caller's rows; scalers are fitted against the
+// full view space (not just labelled rows) by the session layer, which
+// keeps predictions stable over unlabelled views as labels accumulate.
+package ml

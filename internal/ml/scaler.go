@@ -1,7 +1,3 @@
-// Package ml implements the two learners ViewSeeker needs, from scratch on
-// top of internal/linalg: a ridge-regularised linear regression (the view
-// utility estimator) and a logistic regression trained by gradient descent
-// (the uncertainty estimator), plus the feature standardiser both share.
 package ml
 
 import (

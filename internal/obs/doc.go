@@ -1,0 +1,45 @@
+// Package obs is the observability substrate: a lock-cheap metrics
+// registry (counters, gauges, fixed-bucket histograms) plus lightweight
+// phase spans with a ring buffer of recent traces, exposed in Prometheus
+// text and expvar-style JSON form.
+//
+// # Contract
+//
+// Everything in this package is nil-safe and zero-cost when disabled.
+// Every method on a nil *Registry, *Counter, *Gauge, *Histogram, *Tracer
+// or *Span is a no-op that performs no allocation, so instrumented code
+// writes
+//
+//	obs.RegistryFrom(ctx).Counter("viewseeker_store_cache_hits_total").Inc()
+//
+// unconditionally: when no registry was installed in the context the whole
+// chain collapses to a few nil checks (0 allocs/op — pinned by
+// TestDisabledPathAllocs). Hot paths that fire per work item resolve their
+// handles once per call instead; handles are stable for the life of the
+// registry, so resolution cost is paid at setup, not per increment.
+//
+// When enabled, counters and gauges are single atomic adds and histograms
+// are a binary search over a fixed bucket layout plus three atomic
+// operations — no locks, no allocations on the observe path. The registry
+// itself locks only on handle creation and on exposition.
+//
+// # Metric names
+//
+// Names follow viewseeker_<layer>_<name>_<unit> (DESIGN.md §11), with an
+// optional constant-label suffix in the series name itself:
+//
+//	viewseeker_server_request_seconds{route="feedback"}
+//
+// The exposition layer groups series by base name, emits one # TYPE line
+// per family, and expands histograms into cumulative _bucket/_sum/_count
+// series with the le label spliced into any existing label set.
+//
+// # Spans
+//
+// A Span measures one phase on the monotonic clock. Spans nest through
+// context: StartSpan parents the new span under the context's current
+// span, End attaches the finished span to its parent, and finished root
+// spans land in the Tracer's fixed-size ring buffer (Recent) and, when a
+// sink is set, as one JSON line each (the -trace-log flag). A context
+// without a tracer yields nil spans and unchanged contexts.
+package obs

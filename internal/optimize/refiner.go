@@ -1,9 +1,3 @@
-// Package optimize implements the paper's Section 3.3 optimisations: the
-// α-sample "rough" feature pass lives in internal/feature (ComputePartial);
-// this package schedules the incremental refinement of rough feature rows
-// against the full data, in utility-estimator rank order, under the
-// per-iteration latency budget tl — hiding the expensive computation inside
-// the user's labelling time.
 package optimize
 
 import (
@@ -12,6 +6,7 @@ import (
 	"time"
 
 	"viewseeker/internal/feature"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/par"
 )
 
@@ -65,9 +60,23 @@ func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 // worker. Rows already refreshed stay refreshed — refinement is
 // monotonic, so stopping early is always safe — and the context's error is
 // returned alongside the count.
-func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Duration) (int, error) {
+func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Duration) (refreshed int, err error) {
 	if r.Matrix == nil {
 		return 0, fmt.Errorf("optimize: refiner has no matrix")
+	}
+	// The span/metrics generalise the OnRow observation hook: OnRow reports
+	// per-row progress to one caller, the registry accumulates rows and
+	// wall time across every session sharing it. Both observe the same
+	// events; neither alters scheduling, so refinement stays deterministic.
+	ctx, span := obs.StartSpan(ctx, "feedback.refine")
+	defer span.End()
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Counter("viewseeker_optimize_refined_rows_total").Add(int64(refreshed))
+			reg.Histogram("viewseeker_optimize_refine_seconds", obs.DurationBuckets).
+				ObserveDuration(time.Since(start))
+		}()
 	}
 	now := r.Now
 	if now == nil {
@@ -85,7 +94,6 @@ func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Dur
 		}
 	}
 	deadline := now().Add(budget)
-	refreshed := 0
 	// Batches must not contain duplicate indices: two goroutines
 	// refreshing the same row would race on its matrix slots.
 	seen := make(map[int]bool)

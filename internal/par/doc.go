@@ -1,0 +1,24 @@
+// Package par provides the bounded worker-pool primitives the offline
+// phase fans out on: ForEach/ForEachCtx run an indexed job set across a
+// fixed number of goroutines with panic capture and first-error return.
+//
+// # Contracts
+//
+// Cancellation (DESIGN.md §10): ForEachCtx checks the context before
+// claiming each item, never mid-item — cancellation halts within one work
+// item while the scan kernels stay branch-free inside their row loops.
+// In-flight items finish; the return value is the first item error, or
+// ctx.Err() if cancellation stopped the claiming.
+//
+// Bit-identity (DESIGN.md §§7, 9): with workers <= 1 the pool degrades to
+// the plain sequential loop, byte-for-byte identical behaviour included.
+// With workers > 1, callers must make item bodies order-independent
+// (write to disjoint slots); the pool itself imposes no ordering.
+//
+// Observability: when the context carries an obs.Registry, ForEachCtx
+// wraps the item function once per call — never per item — to record
+// per-item latency (viewseeker_par_item_seconds, whose _sum is total
+// busy-seconds for occupancy math), the busy-worker gauge, and the
+// scheduled-item counter. Without a registry the wrapper is skipped
+// entirely, so the instrumented pool is bit-identical to the plain one.
+package par

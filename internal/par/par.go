@@ -1,8 +1,3 @@
-// Package par provides the tiny worker-pool primitives the offline phase
-// fans out on: bounded parallel for-loops with first-error semantics. It
-// exists so that feature computation, layout warming and incremental
-// refinement share one scheduling idiom instead of three hand-rolled
-// channel pools.
 package par
 
 import (
@@ -10,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"viewseeker/internal/obs"
 )
 
 // Resolve normalises a Workers knob: values ≤ 0 select runtime.NumCPU(),
@@ -44,6 +42,27 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 	}
 	if workers > n {
 		workers = n
+	}
+	// Worker-occupancy instrumentation rides the context: with a registry
+	// installed, each item's duration lands in one shared histogram (whose
+	// _sum is total busy time — occupancy = busy / (wall × workers)) and a
+	// gauge tracks how many workers are on an item right now. Handles are
+	// resolved once per call, never per item; without a registry the loop
+	// body is untouched. Timing never changes scheduling or results — the
+	// bit-identity guarantee across worker counts is unaffected.
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		busy := reg.Gauge("viewseeker_par_busy_workers")
+		item := reg.Histogram("viewseeker_par_item_seconds", obs.DurationBuckets)
+		reg.Counter("viewseeker_par_items_scheduled_total").Add(int64(n))
+		inner := fn
+		fn = func(i int) error {
+			busy.Inc()
+			start := time.Now()
+			err := inner(i)
+			item.ObserveDuration(time.Since(start))
+			busy.Dec()
+			return err
+		}
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

@@ -1,0 +1,22 @@
+// Package retry implements bounded retry with exponential backoff and
+// deterministic jitter for the durability layer's disk writes: a journal
+// append or cache snapshot that hits a transient error (brief ENOSPC, NFS
+// hiccup, antivirus lock) is worth a few short retries before the caller
+// degrades to memory-only serving.
+//
+// # Contracts
+//
+// Determinism: the schedule is a pure function of the Policy — backoffs
+// double from Base up to Max, and jitter draws from a source seeded by
+// Seed — and Sleep is injectable, so degraded-mode tests assert the exact
+// sequence of sleeps without waiting for them.
+//
+// Cancellation (DESIGN.md §10): Do checks the context between attempts,
+// never mid-attempt; a done context stops retrying and returns the
+// context's error wrapped with the last attempt's.
+//
+// Observability: the optional Backoffs and Exhausted counters (pointed at
+// the shared viewseeker_retry_* series by the store layer) count retries
+// actually slept and schedules that ran out; both are nil-safe, so an
+// unwired Policy pays nothing.
+package retry

@@ -1,10 +1,3 @@
-// Package retry implements bounded retry with exponential backoff and
-// deterministic jitter for the durability layer's disk writes: a journal
-// append or cache snapshot that hits a transient error (brief ENOSPC, NFS
-// hiccup, antivirus lock) is worth a few short retries before the caller
-// degrades to memory-only serving. The schedule is fully deterministic
-// under an injected Sleep and a fixed Seed, so degraded-mode tests can
-// assert exact timing.
 package retry
 
 import (
@@ -12,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"viewseeker/internal/obs"
 )
 
 // Policy describes one bounded retry schedule. The zero value is not
@@ -35,6 +30,14 @@ type Policy struct {
 	// Sleep is the sleeper between attempts (default time.Sleep);
 	// tests inject a recorder to assert the schedule without waiting.
 	Sleep func(time.Duration)
+	// Backoffs, when non-nil, counts every backoff slept — one increment
+	// per retry actually taken. The durability layer points it at the
+	// shared viewseeker_retry_backoffs_total counter so journal and cache
+	// retries aggregate in one series.
+	Backoffs *obs.Counter
+	// Exhausted, when non-nil, counts schedules that ran out of attempts —
+	// each increment is one operation that degraded instead of recovering.
+	Exhausted *obs.Counter
 }
 
 // Default is the durability layer's schedule: three tries a few
@@ -82,6 +85,7 @@ func (p Policy) Do(ctx context.Context, fn func() error) error {
 			return nil
 		}
 		if i >= attempts {
+			p.Exhausted.Inc()
 			if attempts == 1 {
 				return lastErr
 			}
@@ -97,6 +101,7 @@ func (p Policy) Do(ctx context.Context, fn func() error) error {
 			}
 			d += time.Duration(float64(d) * p.Jitter * rng.Float64())
 		}
+		p.Backoffs.Inc()
 		if d > 0 {
 			sleep(d)
 		}

@@ -1,0 +1,17 @@
+// Package scatter extends ViewSeeker to scatter-plot views — the first
+// item on the paper's future-work list ("extend it to support more
+// visualization types, such as scatter plot, line chart etc."). A scatter
+// view is an unordered pair of measure attributes (x, y); its target
+// plots the query subset DQ, its reference the whole dataset DR. Utility
+// features capture how differently the two populations co-vary: the
+// change in Pearson correlation and regression slope, the standardised
+// mean shift of the subset, and its support. The resulting feature matrix
+// plugs into the same active-learning core as histogram views.
+//
+// # Contracts
+//
+// The scatter feature matrix obeys the same invariants as the histogram
+// one (see internal/feature): deterministic in its inputs, rows computed
+// into disjoint slots so worker count never changes a byte, and never
+// returned partially on cancellation.
+package scatter

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/obs"
+)
+
+// scrapeMetricz returns /metricz as series → value for exact assertions.
+func scrapeMetricz(t *testing.T, h http.Handler) map[string]string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metricz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metricz = %d, want 200", rec.Code)
+	}
+	out := map[string]string{}
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split at the LAST space: label values ({route="POST /api/..."})
+		// may contain spaces, the value never does.
+		i := strings.LastIndex(line, " ")
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		out[line[:i]] = line[i+1:]
+	}
+	return out
+}
+
+// TestMetriczReflectsRealSession pins the end-to-end wiring: driving the
+// API moves the counters /metricz exports. The second session over the
+// same (table, query) must be a warm start — visible as a cache hit and a
+// warm-session counter — and the per-route request histogram must have
+// recorded both creates.
+func TestMetriczReflectsRealSession(t *testing.T) {
+	srv := New(diabTable())
+	h := srv.Handler()
+
+	body := map[string]any{"table": "diab", "query": dataset.DIABQuery, "k": 3, "alpha": 1.0, "workers": 1}
+	var first, second sessionInfo
+	if rec := serveJSON(t, h, context.Background(), "POST", "/api/sessions", body, &first); rec.Code != http.StatusCreated {
+		t.Fatalf("first create = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := serveJSON(t, h, context.Background(), "POST", "/api/sessions", body, &second); rec.Code != http.StatusCreated {
+		t.Fatalf("second create = %d: %s", rec.Code, rec.Body.String())
+	}
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags = %v, %v; want cold then warm", first.Cached, second.Cached)
+	}
+
+	m := scrapeMetricz(t, h)
+	for series, want := range map[string]string{
+		`viewseeker_offline_sessions_total{result="cold"}`:                        "1",
+		`viewseeker_offline_sessions_total{result="warm"}`:                        "1",
+		`viewseeker_store_cache_hits_total`:                                       "1",
+		`viewseeker_server_request_seconds_count{route="POST /api/sessions"}`:     "2",
+		`viewseeker_server_requests_total{route="POST /api/sessions",code="201"}`: "2",
+	} {
+		if got := m[series]; got != want {
+			t.Errorf("%s = %q, want %q", series, got, want)
+		}
+	}
+	if m["viewseeker_store_cache_misses_total"] == "0" || m["viewseeker_store_cache_misses_total"] == "" {
+		t.Errorf("cache misses = %q, want > 0 from the cold session", m["viewseeker_store_cache_misses_total"])
+	}
+	if m["viewseeker_offline_views_total"] == "" || m["viewseeker_offline_views_total"] == "0" {
+		t.Errorf("offline views = %q, want the cold session's view count", m["viewseeker_offline_views_total"])
+	}
+}
+
+// TestRequestIDsInStructuredLogs pins the correlation contract: the id in
+// the X-Request-Id response header is the id on the slog access line, an
+// incoming id is honoured rather than replaced, and every line carries
+// the route and status.
+func TestRequestIDsInStructuredLogs(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := NewWithOptions(Options{
+		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	}, diabTable())
+	h := srv.Handler()
+
+	// An id supplied by a proxy threads through untouched.
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-Id", "proxy-supplied-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "proxy-supplied-42" {
+		t.Fatalf("X-Request-Id = %q, want the incoming id honoured", got)
+	}
+
+	// Without one, the server mints an id and returns it.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/api/tables", nil))
+	minted := rec2.Header().Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("no X-Request-Id minted for a request without one")
+	}
+
+	type accessLine struct {
+		Msg    string `json:"msg"`
+		ID     string `json:"id"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+	}
+	var lines []accessLine
+	sc := bufio.NewScanner(&logBuf)
+	for sc.Scan() {
+		var l accessLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", sc.Text(), err)
+		}
+		if l.Msg == "request" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d access lines, want 2", len(lines))
+	}
+	if lines[0].ID != "proxy-supplied-42" || lines[0].Route != "GET /healthz" || lines[0].Status != 200 {
+		t.Errorf("first access line = %+v, want the proxy id on GET /healthz with 200", lines[0])
+	}
+	if lines[1].ID != minted || lines[1].Route != "GET /api/tables" {
+		t.Errorf("second access line = %+v, want minted id %q on GET /api/tables", lines[1], minted)
+	}
+}
+
+// TestDebugVarsServesTracesAndMetrics pins /debug/vars: after a session
+// create, the JSON dump carries the metric families and the offline span
+// tree with its child phases.
+func TestDebugVarsServesTracesAndMetrics(t *testing.T) {
+	srv := New(diabTable())
+	h := srv.Handler()
+	var info sessionInfo
+	if rec := serveJSON(t, h, context.Background(), "POST", "/api/sessions",
+		map[string]any{"table": "diab", "query": dataset.DIABQuery, "k": 3, "workers": 1}, &info); rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body.String())
+	}
+	var vars struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+		Traces []obs.SpanData `json:"traces"`
+	}
+	if rec := serveJSON(t, h, context.Background(), "GET", "/debug/vars", nil, &vars); rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d", rec.Code)
+	}
+	if vars.Metrics.Counters[`viewseeker_offline_sessions_total{result="cold"}`] != 1 {
+		t.Errorf("counters in /debug/vars = %v, want the cold-session count", vars.Metrics.Counters)
+	}
+	if len(vars.Traces) == 0 {
+		t.Fatal("no traces in /debug/vars after a session create")
+	}
+	root := vars.Traces[0]
+	if root.Name != "offline" {
+		t.Fatalf("most recent trace root = %q, want offline", root.Name)
+	}
+	children := map[string]bool{}
+	for _, c := range root.Children {
+		children[c.Name] = true
+	}
+	for _, want := range []string{"offline.query", "offline.warm", "offline.features"} {
+		if !children[want] {
+			t.Errorf("offline trace is missing child span %q (have %v)", want, root.Children)
+		}
+	}
+}

@@ -190,7 +190,7 @@ func TestDegradeJournalENOSPCKeepsServing(t *testing.T) {
 // TestFaultPanickingHandlerGets500 pins the recovery middleware: a handler
 // bug takes down one request with a 500, not the process.
 func TestFaultPanickingHandlerGets500(t *testing.T) {
-	h := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	h := New().recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler bug")
 	}))
 	rec := httptest.NewRecorder()
@@ -199,7 +199,7 @@ func TestFaultPanickingHandlerGets500(t *testing.T) {
 		t.Fatalf("panicking handler = %d, want 500", rec.Code)
 	}
 	// http.ErrAbortHandler must keep its meaning and propagate.
-	aborts := recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	aborts := New().recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic(http.ErrAbortHandler)
 	}))
 	defer func() {

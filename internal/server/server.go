@@ -1,10 +1,7 @@
-// Package server exposes ViewSeeker over HTTP: a small JSON API plus an
-// embedded single-page UI, turning the library into the interactive tool
-// the paper describes — the analyst sees one view at a time as an SVG
-// chart, rates it, and watches the top-k recommendations sharpen.
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	_ "embed"
@@ -12,14 +9,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"viewseeker"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/store"
 )
 
@@ -45,6 +44,21 @@ type Options struct {
 	// handling (see viewseeker.Options.RefineHook). Tests use it to observe
 	// that a cancelled request stops refinement promptly.
 	RefineHook func(viewIdx int)
+	// Metrics is the observability registry exported at GET /metricz; nil
+	// builds a fresh one — the server is always instrumented, because its
+	// request path is never hot enough for the registry to matter. The cache
+	// and journal are instrumented against it, so sharing a cache across
+	// servers with distinct registries leaves the handles pointing at
+	// whichever server instrumented it last.
+	Metrics *obs.Registry
+	// Tracer receives the server's phase spans (offline, select, feedback);
+	// nil builds a default 64-entry ring. Recent traces are exported at
+	// GET /debug/vars.
+	Tracer *obs.Tracer
+	// Logger receives structured request and error logs; nil uses
+	// slog.Default(). Every line carries the request id the server also
+	// returns in the X-Request-Id response header.
+	Logger *slog.Logger
 }
 
 // defaultMaxBodyBytes bounds POST bodies: session configs and feedback
@@ -67,6 +81,12 @@ type Server struct {
 	journal    *store.Journal
 	maxBody    int64
 	refineHook func(viewIdx int)
+
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	log      *slog.Logger
+	inflight *obs.Gauge
+	panics   *obs.Counter
 }
 
 type session struct {
@@ -91,6 +111,9 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 		journal:    opts.Journal,
 		maxBody:    opts.MaxBodyBytes,
 		refineHook: opts.RefineHook,
+		metrics:    opts.Metrics,
+		tracer:     opts.Tracer,
+		log:        opts.Logger,
 	}
 	if s.cache == nil {
 		s.cache = store.NewCache(0)
@@ -98,12 +121,36 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = defaultMaxBodyBytes
 	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(0)
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.inflight = s.metrics.Gauge("viewseeker_server_inflight_requests")
+	s.panics = s.metrics.Counter("viewseeker_server_panics_total")
+	s.cache.Instrument(s.metrics)
+	if s.journal != nil {
+		s.journal.Instrument(s.metrics)
+	}
 	for _, t := range tables {
 		s.tables[t.Name] = t
 		s.tableHash[t.Name] = viewseeker.HashTable(t)
 	}
 	return s
 }
+
+// Metrics exposes the server's observability registry — the one backing
+// GET /metricz — so embedding commands (cmd/serve, cmd/bench) can read the
+// same counters the endpoint exports.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer exposes the server's span tracer (cmd/serve points its sink at
+// the -trace-log file).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // newSessionID returns an unguessable random session id: session ids are
 // the only credential guarding a session's state, so they must not be
@@ -127,7 +174,7 @@ func (s *Server) journalAppend(rec store.Record) {
 		return
 	}
 	if err := s.journal.Append(rec); err != nil {
-		log.Printf("server: journal append failed: %v", err)
+		s.log.Error("journal append failed", "op", rec.Op, "session", rec.Session, "err", err)
 	}
 }
 
@@ -148,33 +195,114 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// Handler returns the HTTP handler serving the UI and the API, wrapped in
-// the panic-recovery middleware.
+// Handler returns the HTTP handler serving the UI and the API. Every route
+// is registered through the instrumentation middleware (request ids,
+// per-route latency and status metrics, structured access logs) and the
+// whole mux is wrapped in panic recovery.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write(indexHTML)
 	})
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/tables", s.handleTables)
-	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
-	mux.HandleFunc("GET /api/sessions/{id}/next", s.withSession(s.handleNext))
-	mux.HandleFunc("POST /api/sessions/{id}/feedback", s.withSession(s.handleFeedback))
-	mux.HandleFunc("GET /api/sessions/{id}/top", s.withSession(s.handleTop))
-	mux.HandleFunc("GET /api/sessions/{id}/weights", s.withSession(s.handleWeights))
-	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/svg", s.withSession(s.handleViewSVG))
-	mux.HandleFunc("GET /api/sessions/{id}/views/{index}/explain", s.withSession(s.handleViewExplain))
-	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
-	return recoverPanics(mux)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metricz", s.handleMetricz)
+	handle("GET /debug/vars", s.handleVars)
+	handle("GET /api/tables", s.handleTables)
+	handle("POST /api/sessions", s.handleCreateSession)
+	handle("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
+	handle("GET /api/sessions/{id}/next", s.withSession(s.handleNext))
+	handle("POST /api/sessions/{id}/feedback", s.withSession(s.handleFeedback))
+	handle("GET /api/sessions/{id}/top", s.withSession(s.handleTop))
+	handle("GET /api/sessions/{id}/weights", s.withSession(s.handleWeights))
+	handle("GET /api/sessions/{id}/views/{index}/svg", s.withSession(s.handleViewSVG))
+	handle("GET /api/sessions/{id}/views/{index}/explain", s.withSession(s.handleViewExplain))
+	handle("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	return s.recoverPanics(mux)
+}
+
+// requestIDKey carries the per-request id through the request context.
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request id the instrumentation middleware
+// assigned ("" outside a request context). Handlers and hooks use it to
+// correlate their own logs with the server's access lines.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter records the status code a handler writes (200 when it
+// writes a body without an explicit WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps one route's handler with the server's observability:
+// it assigns a request id (honouring an incoming X-Request-Id, so ids
+// thread through proxies), threads the registry and tracer into the
+// request context — which is what lights up the offline, store and
+// active-loop metrics on the paths below the handler — and records the
+// route-labelled latency histogram, status-labelled request counter,
+// in-flight gauge, and a structured access log line.
+//
+// The route label is the mux pattern, resolved once at registration: the
+// histogram handle costs nothing per request, and patterns (not raw
+// paths) keep the label cardinality fixed.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	hist := s.metrics.Histogram(fmt.Sprintf("viewseeker_server_request_seconds{route=%q}", route), obs.DurationBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id, _ = newSessionID() // entropy failure leaves id empty; never fatal
+		}
+		w.Header().Set("X-Request-Id", id)
+		ctx := obs.NewContext(r.Context(), s.metrics, s.tracer)
+		ctx = context.WithValue(ctx, requestIDKey{}, id)
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Inc()
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.inflight.Dec()
+		hist.ObserveDuration(elapsed)
+		s.metrics.Counter(fmt.Sprintf("viewseeker_server_requests_total{route=%q,code=\"%d\"}", route, sw.status())).Inc()
+		s.log.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", sw.status(), "duration", elapsed)
+	})
 }
 
 // recoverPanics converts a handler panic into a logged stack plus a 500,
 // instead of killing the whole process (and with it every other session).
 // http.ErrAbortHandler is re-raised: it is net/http's sanctioned way to
 // abort a response and must keep its meaning.
-func recoverPanics(next http.Handler) http.Handler {
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			p := recover()
@@ -184,13 +312,38 @@ func recoverPanics(next http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			s.panics.Inc()
+			s.log.Error("panic serving request",
+				"id", RequestIDFrom(r.Context()), "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote a status line this
 			// header is a no-op, but the connection still closes with the
 			// truncated body rather than the process dying.
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
 		}()
 		next.ServeHTTP(w, r)
+	})
+}
+
+// handleMetricz serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// handleVars serves an expvar-style JSON dump of every metric plus the
+// tracer's recent root spans — the debugging view of the same data
+// /metricz exports for scraping.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	var metrics bytes.Buffer
+	_ = s.metrics.WriteJSON(&metrics)
+	traces := s.tracer.Recent()
+	if traces == nil {
+		traces = []*obs.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metrics": json.RawMessage(metrics.Bytes()),
+		"traces":  traces,
 	})
 }
 
@@ -391,7 +544,8 @@ func (s *Server) RestoreSessions(recs []store.Record) (restored int, err error) 
 			errs = append(errs, fmt.Errorf("session %s: unknown table %q", c.Session, c.Table))
 			continue
 		}
-		seeker, serr := viewseeker.New(table, c.Query, viewseeker.Options{
+		restoreCtx := obs.NewContext(context.Background(), s.metrics, s.tracer)
+		seeker, serr := viewseeker.NewCtx(restoreCtx, table, c.Query, viewseeker.Options{
 			K: c.K, Alpha: c.Alpha, Strategy: c.Strategy, Seed: c.Seed,
 			Workers: c.Workers, Cache: s.cache, RefHash: refHash,
 		})
@@ -457,7 +611,7 @@ type nextResponse struct {
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	vs, err := sess.seeker.NextViews()
+	vs, err := sess.seeker.NextViewsCtx(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -1,8 +1,3 @@
-// Package sim implements the paper's simulated user study (Section 4):
-// the eleven ideal utility functions of Table 2, a simulated user that
-// labels views with their normalised ideal utility, the evaluation
-// measures (top-k precision and utility distance, Eq. 8), and a session
-// runner that drives a core.Seeker until a stop criterion is met.
 package sim
 
 import (

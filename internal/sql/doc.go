@@ -1,0 +1,18 @@
+// Package sql implements the query substrate ViewSeeker runs on: a
+// lexer, parser and executor for an analytic subset of SQL — SELECT with
+// expressions, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, the aggregate
+// functions COUNT/SUM/AVG/MIN/MAX and a few scalar functions (including
+// WIDTH_BUCKET, which the view layer uses to bin numeric dimensions).
+// Queries execute against dataset.Table values registered in a Catalog
+// and return results as new dataset.Table values.
+//
+// # Contracts
+//
+// Determinism: execution is single-threaded and ordering is defined —
+// ungrouped rows keep table order, GROUP BY groups emit in first-seen
+// order, ORDER BY sorts stably — so the same query over the same table
+// always yields the same result table. Session fingerprints hash query
+// results, so this determinism is load-bearing for the offline cache.
+//
+// Queries never mutate their input tables; every result is a fresh table.
+package sql

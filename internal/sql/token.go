@@ -1,10 +1,3 @@
-// Package sql implements the query substrate ViewSeeker runs on: a lexer,
-// parser and executor for an analytic subset of SQL — SELECT with
-// expressions, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, the aggregate
-// functions COUNT/SUM/AVG/MIN/MAX and a few scalar functions (including
-// WIDTH_BUCKET, which the view layer uses to bin numeric dimensions).
-// Queries execute against dataset.Table values registered in a Catalog and
-// return results as new dataset.Table values.
 package sql
 
 import "fmt"

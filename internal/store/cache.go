@@ -5,11 +5,14 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"viewseeker/internal/faultfs"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/retry"
 	"viewseeker/internal/view"
 )
@@ -98,6 +101,15 @@ type Cache struct {
 	degraded atomic.Bool
 
 	hits, misses, evictions int64
+
+	// Metric handles, nil until Instrument is called; every use is
+	// nil-safe, so an uninstrumented cache pays only nil checks.
+	mHits, mMisses, mEvictions    *obs.Counter
+	mSnapBytes                    *obs.Counter
+	mDegradedTransitions          *obs.Counter
+	mRetryBackoffs, mRetryExhaust *obs.Counter
+	mEntries, mDegraded           *obs.Gauge
+	mSnapSeconds                  *obs.Histogram
 }
 
 type cacheEntry struct {
@@ -141,11 +153,32 @@ func OpenFS(fs faultfs.FS, dir string, capacity int) (*Cache, error) {
 	return c, nil
 }
 
-// SetRetryPolicy replaces the snapshot-write retry schedule.
+// SetRetryPolicy replaces the snapshot-write retry schedule. Retry
+// counters installed by Instrument survive the swap.
 func (c *Cache) SetRetryPolicy(p retry.Policy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.policy = p
+}
+
+// Instrument registers the cache's metrics against reg (see DESIGN.md §11
+// for the name schema): hit/miss/eviction counters, the resident-entry
+// gauge, snapshot write latency and bytes, degraded-state gauge and
+// transition counter, and the shared retry counters. Call it once at
+// wiring time; an uninstrumented cache records nothing.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter("viewseeker_store_cache_hits_total")
+	c.mMisses = reg.Counter("viewseeker_store_cache_misses_total")
+	c.mEvictions = reg.Counter("viewseeker_store_cache_evictions_total")
+	c.mEntries = reg.Gauge("viewseeker_store_cache_entries")
+	c.mSnapBytes = reg.Counter("viewseeker_store_snapshot_bytes_total")
+	c.mSnapSeconds = reg.Histogram("viewseeker_store_snapshot_write_seconds", obs.DurationBuckets)
+	c.mDegraded = reg.Gauge(`viewseeker_store_degraded{component="cache"}`)
+	c.mDegradedTransitions = reg.Counter(`viewseeker_store_degraded_transitions_total{component="cache"}`)
+	c.mRetryBackoffs = reg.Counter("viewseeker_retry_backoffs_total")
+	c.mRetryExhaust = reg.Counter("viewseeker_retry_exhausted_total")
 }
 
 // Degraded reports whether the last snapshot write exhausted its retries:
@@ -178,6 +211,7 @@ func (c *Cache) Get(fp string) (*OfflineResult, bool) {
 		c.ll.MoveToFront(el)
 		res := el.Value.(*cacheEntry).res.clone()
 		c.hits++
+		c.mHits.Inc()
 		c.mu.Unlock()
 		return res, true
 	}
@@ -189,12 +223,14 @@ func (c *Cache) Get(fp string) (*OfflineResult, bool) {
 			c.mu.Lock()
 			c.insert(fp, res.clone())
 			c.hits++
+			c.mHits.Inc()
 			c.mu.Unlock()
 			return res, true
 		}
 	}
 	c.mu.Lock()
 	c.misses++
+	c.mMisses.Inc()
 	c.mu.Unlock()
 	return nil, false
 }
@@ -213,16 +249,32 @@ func (c *Cache) Put(fp string, res *OfflineResult) error {
 	c.mu.Lock()
 	c.insert(fp, stored)
 	policy := c.policy
+	// Counters ride the policy copy so a SetRetryPolicy after Instrument
+	// cannot silently disconnect retry accounting.
+	policy.Backoffs = c.mRetryBackoffs
+	policy.Exhausted = c.mRetryExhaust
 	c.mu.Unlock()
 	if c.dir != "" {
+		start := time.Now()
+		var written int64
 		err := policy.Do(context.Background(), func() error {
-			return writeSnapshot(c.fs, c.snapshotPath(fp), fp, stored)
+			n, werr := writeSnapshot(c.fs, c.snapshotPath(fp), fp, stored)
+			written = n
+			return werr
 		})
+		c.mSnapSeconds.ObserveDuration(time.Since(start))
 		if err != nil {
-			c.degraded.Store(true)
+			// Swap so a true→true rewrite does not recount: the transition
+			// counter tracks distinct entries into degraded mode.
+			if !c.degraded.Swap(true) {
+				c.mDegradedTransitions.Inc()
+			}
+			c.mDegraded.Set(1)
 			return fmt.Errorf("store: writing snapshot: %w", err)
 		}
+		c.mSnapBytes.Add(written)
 		c.degraded.Store(false)
+		c.mDegraded.Set(0)
 	}
 	return nil
 }
@@ -240,7 +292,9 @@ func (c *Cache) insert(fp string, res *OfflineResult) {
 		c.ll.Remove(last)
 		delete(c.byFP, last.Value.(*cacheEntry).fp)
 		c.evictions++
+		c.mEvictions.Inc()
 	}
+	c.mEntries.Set(int64(c.ll.Len()))
 }
 
 func (c *Cache) snapshotPath(fp string) string {
@@ -259,22 +313,36 @@ type snapshot struct {
 
 const snapshotVersion = 1
 
-func writeSnapshot(fs faultfs.FS, path, fp string, res *OfflineResult) error {
+// countingWriter counts bytes on their way into the snapshot file so the
+// instrumented cache can report bytes actually written to disk.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeSnapshot(fs faultfs.FS, path, fp string, res *OfflineResult) (int64, error) {
 	tmp, err := fs.CreateTemp(filepath.Dir(path), ".vscache-*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer fs.Remove(tmp.Name())
-	err = gob.NewEncoder(tmp).Encode(snapshot{Version: snapshotVersion, Fingerprint: fp, Result: *res})
+	cw := &countingWriter{w: tmp}
+	err = gob.NewEncoder(cw).Encode(snapshot{Version: snapshotVersion, Fingerprint: fp, Result: *res})
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return err
+		return cw.n, err
 	}
 	// Atomic publish: a crash mid-write leaves only a temp file, never a
 	// truncated snapshot under the real name.
-	return fs.Rename(tmp.Name(), path)
+	return cw.n, fs.Rename(tmp.Name(), path)
 }
 
 // readSnapshot loads and validates one disk entry. Any failure — missing

@@ -1,10 +1,3 @@
-// Package store persists the two kinds of server-side state the
-// interactive phases sit on: the offline phase's output (view layouts plus
-// the utility-feature matrix), kept in a content-addressed cache so a
-// second session over the same (table, query, configuration) skips the
-// offline pass entirely, and the interactive sessions themselves, kept as
-// an append-only journal of labelling events whose deterministic replay
-// reconstructs every estimator after a restart.
 package store
 
 import (

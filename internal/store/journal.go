@@ -8,8 +8,10 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"viewseeker/internal/faultfs"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/retry"
 )
 
@@ -65,6 +67,13 @@ type Journal struct {
 	policy  retry.Policy
 
 	degraded atomic.Bool
+
+	// Metric handles, nil until Instrument is called; nil-safe throughout.
+	mAppends, mBytes              *obs.Counter
+	mDegradedTransitions          *obs.Counter
+	mRetryBackoffs, mRetryExhaust *obs.Counter
+	mDegraded                     *obs.Gauge
+	mAppendSeconds                *obs.Histogram
 }
 
 // OpenJournal opens (creating if needed) an append-only journal at path.
@@ -98,6 +107,22 @@ func (j *Journal) SetRetryPolicy(p retry.Policy) {
 // is set were lost and will not survive a restart.
 func (j *Journal) Degraded() bool { return j.degraded.Load() }
 
+// Instrument registers the journal's metrics against reg: append count,
+// bytes and latency, degraded-state gauge and transition counter, and the
+// shared retry counters (one series across journal and cache). Call once
+// at wiring time; an uninstrumented journal records nothing.
+func (j *Journal) Instrument(reg *obs.Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.mAppends = reg.Counter("viewseeker_store_journal_appends_total")
+	j.mBytes = reg.Counter("viewseeker_store_journal_bytes_total")
+	j.mAppendSeconds = reg.Histogram("viewseeker_store_journal_append_seconds", obs.DurationBuckets)
+	j.mDegraded = reg.Gauge(`viewseeker_store_degraded{component="journal"}`)
+	j.mDegradedTransitions = reg.Counter(`viewseeker_store_degraded_transitions_total{component="journal"}`)
+	j.mRetryBackoffs = reg.Counter("viewseeker_retry_backoffs_total")
+	j.mRetryExhaust = reg.Counter("viewseeker_retry_exhausted_total")
+}
+
 // Append writes one record, retrying transient failures on the journal's
 // backoff schedule. On success the degraded flag clears; on exhaustion it
 // sets and the last write error is returned — callers deciding to keep
@@ -113,7 +138,14 @@ func (j *Journal) Append(rec Record) error {
 	if j.f == nil {
 		return fmt.Errorf("store: journal is closed")
 	}
-	err = j.policy.Do(context.Background(), func() error {
+	start := time.Now()
+	defer func() {
+		j.mAppendSeconds.ObserveDuration(time.Since(start))
+	}()
+	policy := j.policy
+	policy.Backoffs = j.mRetryBackoffs
+	policy.Exhausted = j.mRetryExhaust
+	err = policy.Do(context.Background(), func() error {
 		payload := line
 		if j.midLine {
 			// Terminate the torn fragment a previous partial write left, so
@@ -132,10 +164,16 @@ func (j *Journal) Append(rec Record) error {
 		return nil
 	})
 	if err != nil {
-		j.degraded.Store(true)
+		if !j.degraded.Swap(true) {
+			j.mDegradedTransitions.Inc()
+		}
+		j.mDegraded.Set(1)
 		return fmt.Errorf("store: journal append: %w", err)
 	}
 	j.degraded.Store(false)
+	j.mDegraded.Set(0)
+	j.mAppends.Inc()
+	j.mBytes.Add(int64(len(line)))
 	return nil
 }
 

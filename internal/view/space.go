@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"viewseeker/internal/dataset"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/par"
 )
 
@@ -168,6 +169,10 @@ type warmJob struct {
 // a layout scan either completes and is cached, or never starts — a
 // cancelled warm pass can never poison the caches with partial results.
 func (g *Generator) runWarm(ctx context.Context, jobs []warmJob, workers int) error {
+	// One warm job is one (table, layout) scan slot; already-cached layouts
+	// complete without scanning, so the counter tracks scheduled scan slots
+	// — the unit the layout caches deduplicate on.
+	obs.RegistryFrom(ctx).Counter("viewseeker_view_warm_scans_total").Add(int64(len(jobs)))
 	return par.ForEachCtx(ctx, len(jobs), workers, func(i int) error {
 		j := jobs[i]
 		_, err := g.statsFor(j.t, j.cache, j.k, j.rows)

@@ -1,10 +1,3 @@
-// Package view implements the paper's view model: a view is a triple
-// (a, m, f) — dimension attribute, measure attribute, aggregate function —
-// over a dataset, rendered as a histogram/bar chart. The package
-// enumerates the view space (Eq. 1), lays out consistent bins across the
-// target subset DQ and reference dataset DR, executes group-by aggregation
-// into histograms, and normalises histograms into probability
-// distributions (Eq. 5).
 package view
 
 import (

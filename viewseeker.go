@@ -25,6 +25,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"viewseeker/internal/active"
 	"viewseeker/internal/core"
@@ -32,6 +33,7 @@ import (
 	"viewseeker/internal/diversify"
 	"viewseeker/internal/explain"
 	"viewseeker/internal/feature"
+	"viewseeker/internal/obs"
 	"viewseeker/internal/sql"
 	"viewseeker/internal/store"
 	"viewseeker/internal/view"
@@ -299,7 +301,12 @@ func normalizeAlpha(a float64) float64 {
 }
 
 // runExplorationQuery executes the session's query and names the subset.
-func runExplorationQuery(table *Table, query string) (*Table, error) {
+// The context carries only instrumentation (the query executes in-memory
+// and is not cancellable mid-scan).
+func runExplorationQuery(ctx context.Context, table *Table, query string) (*Table, error) {
+	_, span := obs.StartSpan(ctx, "offline.query")
+	defer span.End()
+	start := time.Now()
 	target, err := Query(table, query)
 	if err != nil {
 		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
@@ -307,6 +314,8 @@ func runExplorationQuery(table *Table, query string) (*Table, error) {
 	if target.NumRows() == 0 {
 		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
 	}
+	obs.RegistryFrom(ctx).Histogram("viewseeker_offline_query_seconds", obs.DurationBuckets).
+		ObserveDuration(time.Since(start))
 	target.Name = table.Name + "_dq"
 	return target, nil
 }
@@ -335,8 +344,13 @@ func NewCtx(ctx context.Context, table *Table, query string, opts Options) (*See
 	if table == nil {
 		return nil, fmt.Errorf("viewseeker: nil table")
 	}
+	// The offline umbrella span: everything below — query execution, cache
+	// probes, layout warming, the feature pass — nests under it when the
+	// context carries a tracer.
+	ctx, span := obs.StartSpan(ctx, "offline")
+	defer span.End()
 	if opts.Cache == nil {
-		target, err := runExplorationQuery(table, query)
+		target, err := runExplorationQuery(ctx, table, query)
 		if err != nil {
 			return nil, err
 		}
@@ -361,12 +375,13 @@ func NewCtx(ctx context.Context, table *Table, query string, opts Options) (*See
 	if res, ok := opts.Cache.Get(queryFP); ok && len(res.Target) > 0 {
 		if target, derr := dataset.ReadBinary(bytes.NewReader(res.Target)); derr == nil && target.NumRows() > 0 {
 			if s, berr := buildFromCached(table, target, opts, registry, spaceCfg, alpha, res); berr == nil {
+				obs.RegistryFrom(ctx).Counter(`viewseeker_offline_sessions_total{result="warm"}`).Inc()
 				return s, nil
 			}
 		}
 		// An undecodable or mismatched entry degrades to recomputation.
 	}
-	target, err := runExplorationQuery(table, query)
+	target, err := runExplorationQuery(ctx, table, query)
 	if err != nil {
 		return nil, err
 	}
@@ -430,6 +445,7 @@ func NewFromTablesCtx(ctx context.Context, ref, target *Table, opts Options) (*S
 		}.Fingerprint()
 		if res, ok := opts.Cache.Get(fingerprint); ok {
 			if s, berr := buildFromCached(ref, target, opts, registry, spaceCfg, alpha, res); berr == nil {
+				obs.RegistryFrom(ctx).Counter(`viewseeker_offline_sessions_total{result="warm"}`).Inc()
 				return s, nil
 			}
 			// A rebuild error means the entry does not fit this session
@@ -450,6 +466,7 @@ func NewFromTablesCtx(ctx context.Context, ref, target *Table, opts Options) (*S
 	if err != nil {
 		return nil, err
 	}
+	obs.RegistryFrom(ctx).Counter(`viewseeker_offline_sessions_total{result="cold"}`).Inc()
 	if opts.Cache != nil {
 		// Best-effort fill: a failed snapshot write degrades the cache
 		// to memory-only, it never fails the session.
@@ -544,7 +561,14 @@ func (s *Seeker) Next() (View, error) {
 // NextViews returns the next batch of views to label (cold start first,
 // then the configured query strategy). Empty when everything is labelled.
 func (s *Seeker) NextViews() ([]View, error) {
-	idxs, err := s.inner.NextViews()
+	return s.NextViewsCtx(context.Background())
+}
+
+// NextViewsCtx is NextViews with the selection timed against the context's
+// observability registry and tracer (see internal/obs); selection itself
+// is pure in-memory ranking and does not block on the context.
+func (s *Seeker) NextViewsCtx(ctx context.Context) ([]View, error) {
+	idxs, err := s.inner.NextViewsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
