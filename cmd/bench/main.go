@@ -16,6 +16,11 @@
 // Usage:
 //
 //	go run ./cmd/bench [-rows 50000,200000] [-alpha 0.1] [-obs] [-o BENCH_offline.json]
+//	go run ./cmd/bench -check BENCH_offline.json
+//
+// -check validates the tracked document instead of benchmarking: CI runs
+// the kernels at smoke scale but asserts the locally produced SYN 1M-row
+// warm entry is present and well-formed.
 package main
 
 import (
@@ -94,7 +99,13 @@ func main() {
 	alpha := flag.Float64("alpha", 0.1, "sampling ratio for the α-pass benchmarks")
 	out := flag.String("o", "BENCH_offline.json", "output path")
 	obsMode := flag.Bool("obs", false, "run an instrumented cold+warm offline phase and report worker occupancy and cache hit rate from the metrics registry")
+	check := flag.String("check", "", "validate an existing report instead of benchmarking: require the tracked SYN 1M-row warm entry")
 	flag.Parse()
+
+	if *check != "" {
+		checkReport(*check)
+		return
+	}
 
 	var scales []int
 	for _, s := range strings.Split(*rowsFlag, ",") {
@@ -231,6 +242,23 @@ func benchScale(rep *report, rows int, alpha float64) []result {
 				}
 			}
 		}),
+		// The offline warm pass: precompute stats for every layout on both
+		// tables. Exercises the shared bin-index path (one scan per
+		// dimension fills every bin count's index at once).
+		mark("full_view_space_warm", rows, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, err := view.NewGenerator(ref, tgt, view.SpaceConfig{BinCounts: []int{3, 4}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := g.Warm(runtime.GOMAXPROCS(0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
 	}
 
 	byName := map[string]int64{}
@@ -285,6 +313,34 @@ func mustEqual(want, got *view.Stats, kernel string) {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// checkReport validates a tracked report document without benchmarking:
+// it must parse, and it must carry the SYN 1M-row full_view_space_warm
+// entry with a positive timing — the scale point CI cannot reproduce but
+// must not lose. Exits non-zero on any violation.
+func checkReport(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("bench: -check: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("bench: -check %s: %v", path, err)
+	}
+	if rep.SchemaVersion != 1 {
+		log.Fatalf("bench: -check %s: schema_version = %d, want 1", path, rep.SchemaVersion)
+	}
+	for _, r := range rep.Results {
+		if r.Name == "full_view_space_warm" && r.Rows == 1000000 {
+			if r.NsPerOp <= 0 {
+				log.Fatalf("bench: -check %s: SYN 1M warm entry has ns_per_op = %d", path, r.NsPerOp)
+			}
+			fmt.Fprintf(os.Stderr, "bench: -check %s: SYN 1M warm entry ok (%d ns/op)\n", path, r.NsPerOp)
+			return
+		}
+	}
+	log.Fatalf("bench: -check %s: missing full_view_space_warm result at 1000000 rows", path)
+}
 
 // observeOffline runs a cold offline phase and then a warm one against the
 // same shared cache, both under an instrumented context, and reads the

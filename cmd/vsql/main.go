@@ -65,7 +65,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vsql:", err)
 			os.Exit(1)
 		}
-		printResult(res, 1000)
+		if !printPlan(res) {
+			printResult(res, 1000)
+		}
 		return
 	}
 	fmt.Printf("tables: %s\n", strings.Join(cat.Names(), ", "))
@@ -92,8 +94,25 @@ func main() {
 			fmt.Println("error:", err)
 			continue
 		}
-		printResult(res, 40)
+		if !printPlan(res) {
+			printResult(res, 40)
+		}
 	}
+}
+
+// printPlan prints an EXPLAIN result — a one-row, one-column "plan" table
+// holding the physical plan's JSON document — raw, so the indented JSON
+// survives instead of being squeezed into a padded table cell. Reports
+// whether it handled the table.
+func printPlan(t *dataset.Table) bool {
+	if t.Name != "plan" || t.Schema.Len() != 1 || t.NumRows() != 1 {
+		return false
+	}
+	if def := t.Schema.Columns[0]; def.Name != "plan" || def.Kind != dataset.KindString {
+		return false
+	}
+	fmt.Println(t.Column("plan").Strs[0])
+	return true
 }
 
 func describe(cat *sql.Catalog, name string) {

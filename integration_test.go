@@ -2,6 +2,7 @@ package viewseeker_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,8 +49,15 @@ func TestEndToEndWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.NumRows() < 3 {
-		t.Fatalf("plan rows = %d", plan.NumRows())
+	if plan.NumRows() != 1 {
+		t.Fatalf("plan rows = %d, want one JSON document", plan.NumRows())
+	}
+	var planDoc map[string]any
+	if err := json.Unmarshal([]byte(plan.Column("plan").Strs[0]), &planDoc); err != nil {
+		t.Fatalf("EXPLAIN output is not JSON: %v", err)
+	}
+	if !strings.Contains(plan.Column("plan").Strs[0], `"op": "aggregate"`) {
+		t.Fatal("plan missing aggregate operator")
 	}
 
 	// 4. Interactive session against a scripted taste (max per-bin

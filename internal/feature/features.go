@@ -55,7 +55,7 @@ func StandardRegistry() *Registry {
 			return metric.Usability(p.Target.Bins())
 		}},
 		{Accuracy, func(p *view.Pair) (float64, error) {
-			return metric.Accuracy(p.Target.Counts, p.Target.Sums, p.Target.SumSqs)
+			return metric.Accuracy(p.Target.Counts, p.Target.Sums, p.Target.SumSqs, p.Target.Shift)
 		}},
 		{PValue, func(p *view.Pair) (float64, error) {
 			return metric.PValueScore(p.Target.Counts, p.Reference.Distribution())

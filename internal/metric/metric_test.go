@@ -197,7 +197,7 @@ func TestAccuracy(t *testing.T) {
 	counts := []float64{2, 2}
 	sums := []float64{2, 8}    // values 1,1 and 4,4
 	sumSqs := []float64{2, 32} // 1+1, 16+16
-	a, err := Accuracy(counts, sums, sumSqs)
+	a, err := Accuracy(counts, sums, sumSqs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestAccuracy(t *testing.T) {
 		t.Errorf("lossless accuracy = %v, want 1", a)
 	}
 	// One bin holding everything: within-bin SSE = TSS, accuracy 0.
-	a, err = Accuracy([]float64{4}, []float64{10}, []float64{34})
+	a, err = Accuracy([]float64{4}, []float64{10}, []float64{34}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,20 +213,42 @@ func TestAccuracy(t *testing.T) {
 		t.Errorf("single-bin accuracy = %v, want 0", a)
 	}
 	// Constant measure: accuracy 1 regardless of binning.
-	a, _ = Accuracy([]float64{2, 2}, []float64{6, 6}, []float64{18, 18})
+	a, _ = Accuracy([]float64{2, 2}, []float64{6, 6}, []float64{18, 18}, 0)
 	if a != 1 {
 		t.Errorf("constant measure accuracy = %v, want 1", a)
 	}
-	if _, err := Accuracy([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+	if _, err := Accuracy([]float64{1}, []float64{1, 2}, []float64{1}, 0); err == nil {
 		t.Error("expected mismatch error")
 	}
-	if _, err := Accuracy(nil, nil, nil); err == nil {
+	if _, err := Accuracy(nil, nil, nil, 0); err == nil {
 		t.Error("expected empty error")
 	}
 }
 
+// TestAccuracyLargeMean pins the cancellation bug the shift parameter
+// fixes: with raw second moments, values near 1e9 lose all within-bin
+// variance to float64 rounding and accuracy collapses to a garbage value.
+// Values {1e9, 1e9+1 | 1e9+2} (bins of sizes 2 and 1), moments shifted by
+// s = 1e9: per-bin Σv = {2e9+1, 1e9+2}, Σ(v−s)² = {0²+1², 2²} = {1, 4}.
+// Bin SSEs are 1−1²/2 = 0.5 and 4−2²/1 = 0; TSS over shifted values
+// {0,1,2} is 2, so accuracy = 1 − 0.5/2 = 0.75 — recoverable only because
+// the moments were accumulated relative to the shift.
+func TestAccuracyLargeMean(t *testing.T) {
+	const shift = 1e9
+	counts := []float64{2, 1}
+	sums := []float64{2e9 + 1, 1e9 + 2}
+	sumSqs := []float64{1, 4}
+	a, err := Accuracy(counts, sums, sumSqs, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.75) > 1e-9 {
+		t.Errorf("large-mean accuracy = %v, want 0.75", a)
+	}
+}
+
 func TestAccuracyEmptyBinsIgnored(t *testing.T) {
-	a, err := Accuracy([]float64{0, 2, 2}, []float64{0, 2, 8}, []float64{0, 2, 32})
+	a, err := Accuracy([]float64{0, 2, 2}, []float64{0, 2, 8}, []float64{0, 2, 32}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

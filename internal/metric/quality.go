@@ -27,9 +27,16 @@ func Usability(bins int) (float64, error) {
 // squares, mapped so that 1 is a lossless view and values fall toward 0 as
 // binning discards more structure.
 //
-// counts[i], sums[i] and sumSqs[i] are the per-bin count, Σv and Σv² of the
-// target view's measure values.
-func Accuracy(counts []float64, sums []float64, sumSqs []float64) (float64, error) {
+// counts[i] and sums[i] are the per-bin count and Σv of the target view's
+// measure values; sumSqs[i] is Σ(v−shift)², the second moment accumulated
+// about the caller-chosen constant shift (pass 0 when raw sums of squares
+// are supplied). Computing SSE and TSS from moments shifted near the data
+// — view.Stats shifts by the measure's first value — avoids the
+// catastrophic cancellation of the naive Σv² − (Σv)²/n form, which
+// collapses to 0 whenever the measure's mean is large relative to its
+// spread. The shifted forms are algebraically identical: Σ(v−s)² −
+// (Σ(v−s))²/c equals Σv² − (Σv)²/c for any s.
+func Accuracy(counts []float64, sums []float64, sumSqs []float64, shift float64) (float64, error) {
 	if len(counts) != len(sums) || len(counts) != len(sumSqs) {
 		return 0, fmt.Errorf("metric: accuracy inputs have mismatched lengths %d/%d/%d",
 			len(counts), len(sums), len(sumSqs))
@@ -47,13 +54,15 @@ func Accuracy(counts []float64, sums []float64, sumSqs []float64) (float64, erro
 		n += c
 		total += sums[i]
 		totalSq += sumSqs[i]
-		// Within-bin SSE: Σv² − (Σv)²/c.
-		sse += sumSqs[i] - sums[i]*sums[i]/c
+		// Within-bin SSE: Σ(v−s)² − (Σ(v−s))²/c, with Σ(v−s) = Σv − c·s.
+		s := sums[i] - c*shift
+		sse += sumSqs[i] - s*s/c
 	}
 	if n == 0 {
 		return 0, nil
 	}
-	tss := totalSq - total*total/n // total sum of squares around the grand mean
+	ts := total - n*shift    // Σ(v−s) over every counted bin
+	tss := totalSq - ts*ts/n // total sum of squares around the grand mean
 	if tss <= 1e-12 {
 		return 1, nil // constant measure: any binning is lossless
 	}

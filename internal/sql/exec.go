@@ -10,26 +10,43 @@ import (
 	"viewseeker/internal/dataset"
 )
 
-// Execute runs a parsed statement against a table. The table may be nil
-// only for table-less statements (no FROM clause). The result is a new
-// table named "result".
+// Execute runs a parsed statement against a table through the planned
+// executor (see plan.go / plan_exec.go). The table may be nil only for
+// table-less statements (no FROM clause). The result is a new table named
+// "result".
 func Execute(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
 	if stmt.From != "" && table == nil {
 		return nil, fmt.Errorf("sql: statement references table %q but none was supplied", stmt.From)
 	}
-	isAgg := len(stmt.GroupBy) > 0
-	for _, it := range stmt.Items {
-		if !it.Star && ContainsAggregate(it.Expr) {
-			isAgg = true
-		}
+	return executePlanned(stmt, table)
+}
+
+// ExecuteInterpreted runs a parsed statement through the retained
+// tree-walking interpreter: one expression-tree walk per row, row-major
+// aggregation. It is the bit-identity oracle the planned executor is held
+// to (the same retained-reference pattern as view.CollectStatsReference)
+// and is exercised against Execute by the equivalence property tests.
+func ExecuteInterpreted(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
+	if stmt.From != "" && table == nil {
+		return nil, fmt.Errorf("sql: statement references table %q but none was supplied", stmt.From)
 	}
-	if stmt.Having != nil {
-		isAgg = true
-	}
-	if isAgg {
+	if isAggregate(stmt) {
 		return executeAggregate(stmt, table)
 	}
 	return executePlain(stmt, table)
+}
+
+// isAggregate reports whether the statement needs grouped execution.
+func isAggregate(stmt *SelectStmt) bool {
+	if len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return true
+	}
+	for _, it := range stmt.Items {
+		if !it.Star && ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
 }
 
 // outputRow pairs projected values with hidden sort keys.
@@ -55,17 +72,17 @@ func tableBinder(table *dataset.Table) func(e Expr) (getter, bool, error) {
 	}
 }
 
-func executePlain(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
-	comp := &compiler{bindNode: tableBinder(table)}
-
-	// Expand projections; remember source roles for pass-through columns.
+// projectionGetters expands the statement's SELECT items into output
+// names, source roles for pass-through columns, and compiled getters.
+// Shared by the interpreter's plain path and the planned projection.
+func projectionGetters(stmt *SelectStmt, table *dataset.Table, comp *compiler) ([]string, []dataset.Role, []getter, error) {
 	var names []string
 	var getters []getter
 	var roles []dataset.Role
 	for _, it := range stmt.Items {
 		if it.Star {
 			if table == nil {
-				return nil, fmt.Errorf("sql: SELECT * without a FROM clause")
+				return nil, nil, nil, fmt.Errorf("sql: SELECT * without a FROM clause")
 			}
 			for _, col := range table.Cols {
 				c := col
@@ -77,7 +94,7 @@ func executePlain(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error
 		}
 		g, err := comp.compile(it.Expr)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		names = append(names, it.OutputName())
 		role := dataset.RoleOther
@@ -88,6 +105,15 @@ func executePlain(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error
 		}
 		roles = append(roles, role)
 		getters = append(getters, g)
+	}
+	return names, roles, getters, nil
+}
+
+func executePlain(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, error) {
+	comp := &compiler{bindNode: tableBinder(table)}
+	names, roles, getters, err := projectionGetters(stmt, table, comp)
+	if err != nil {
+		return nil, err
 	}
 
 	var whereG getter
@@ -270,19 +296,60 @@ func rowKey(vals []dataset.Value) string {
 	return sb.String()
 }
 
-// aggAccumulator accumulates one aggregate call for one group.
+// aggAccumulator accumulates one aggregate call for one group. Both
+// executors feed it the same per-row operation sequence, so group results
+// are bit-identical across engines.
+//
+// SUM keeps a parallel int64 accumulator while every input is an integer:
+// float64 summation loses exactness past 2^53 (SUM over {2^53,1,1,1} used
+// to return 9007199254740996). Overflowing int64 is reported as an error
+// rather than silently wrapping.
+//
+// VARIANCE/STDDEV accumulate second moments shifted by the group's first
+// value: Var = E[(v−s)²] − E[v−s]², algebraically identical for any s but
+// numerically stable when |mean| ≫ stddev (raw Σv² cancellation made
+// STDDEV over {1e9, 1e9+1, 1e9+2} collapse to 0).
 type aggAccumulator struct {
-	fn      string
-	count   int64
-	sum     float64
-	sumSq   float64
-	allInts bool
-	min     dataset.Value
-	max     dataset.Value
+	fn       string
+	count    int64
+	sum      float64
+	isum     int64 // exact integer SUM, valid while allInts && !overflow
+	overflow bool
+	allInts  bool
+	shift    float64 // first accumulated value
+	shiftSet bool
+	sSum     float64 // Σ (v − shift)
+	sSumSq   float64 // Σ (v − shift)²
+	min      dataset.Value
+	max      dataset.Value
 }
 
 func newAccumulator(fn string) *aggAccumulator {
 	return &aggAccumulator{fn: fn, allInts: true, min: dataset.Null, max: dataset.Null}
+}
+
+// addNumeric is the shared numeric core: the planned executor's columnar
+// loops and the interpreter's boxed add both bottom out here, one call per
+// accumulated value in row order.
+func (a *aggAccumulator) addNumeric(f float64, i int64, isInt bool) {
+	if !isInt {
+		a.allInts = false
+	}
+	if a.allInts && !a.overflow {
+		s := a.isum + i
+		if (i > 0 && s < a.isum) || (i < 0 && s > a.isum) {
+			a.overflow = true
+		} else {
+			a.isum = s
+		}
+	}
+	a.sum += f
+	if !a.shiftSet {
+		a.shift, a.shiftSet = f, true
+	}
+	d := f - a.shift
+	a.sSum += d
+	a.sSumSq += d * d
 }
 
 func (a *aggAccumulator) add(v dataset.Value) error {
@@ -298,11 +365,7 @@ func (a *aggAccumulator) add(v dataset.Value) error {
 		if !ok {
 			return fmt.Errorf("sql: %s over non-numeric value %s", a.fn, v.Kind)
 		}
-		if v.Kind != dataset.KindInt {
-			a.allInts = false
-		}
-		a.sum += f
-		a.sumSq += f * f
+		a.addNumeric(f, v.I, v.Kind == dataset.KindInt)
 		return nil
 	case "MIN":
 		if a.min.IsNull() || dataset.Compare(v, a.min) < 0 {
@@ -319,54 +382,53 @@ func (a *aggAccumulator) add(v dataset.Value) error {
 	}
 }
 
-func (a *aggAccumulator) result() dataset.Value {
+func (a *aggAccumulator) result() (dataset.Value, error) {
 	switch a.fn {
 	case "COUNT":
-		return dataset.Int(a.count)
+		return dataset.Int(a.count), nil
 	case "SUM":
 		if a.count == 0 {
-			return dataset.Null
+			return dataset.Null, nil
 		}
 		if a.allInts {
-			return dataset.Int(int64(a.sum))
+			if a.overflow {
+				return dataset.Null, fmt.Errorf("sql: SUM overflows int64")
+			}
+			return dataset.Int(a.isum), nil
 		}
-		return dataset.Float(a.sum)
+		return dataset.Float(a.sum), nil
 	case "AVG":
 		if a.count == 0 {
-			return dataset.Null
+			return dataset.Null, nil
 		}
-		return dataset.Float(a.sum / float64(a.count))
+		return dataset.Float(a.sum / float64(a.count)), nil
 	case "VARIANCE", "STDDEV":
 		if a.count == 0 {
-			return dataset.Null
+			return dataset.Null, nil
 		}
 		n := float64(a.count)
-		v := a.sumSq/n - (a.sum/n)*(a.sum/n)
+		v := a.sSumSq/n - (a.sSum/n)*(a.sSum/n)
 		if v < 0 {
 			v = 0 // fp noise on constant columns
 		}
 		if a.fn == "STDDEV" {
 			v = math.Sqrt(v)
 		}
-		return dataset.Float(v)
+		return dataset.Float(v), nil
 	case "MIN":
-		return a.min
+		return a.min, nil
 	case "MAX":
-		return a.max
+		return a.max, nil
 	default:
-		return dataset.Null
+		return dataset.Null, fmt.Errorf("sql: unknown aggregate %s", a.fn)
 	}
 }
 
-// aggSlot is one distinct aggregate call in the statement.
-type aggSlot struct {
-	call *Call
-	arg  getter // nil for COUNT(*)
-}
-
-// collectAggregates walks an expression and registers every aggregate call
-// in slots (deduplicated by canonical string).
-func collectAggregates(e Expr, comp *compiler, slots map[string]*aggSlot) error {
+// findAggregates walks an expression and registers every distinct
+// aggregate call (keyed by canonical string) in seen, validating arity and
+// rejecting nesting. Purely structural — argument compilation happens
+// separately so plan lowering can reuse the discovery.
+func findAggregates(e Expr, seen map[string]*Call) error {
 	if e == nil {
 		return nil
 	}
@@ -374,19 +436,18 @@ func collectAggregates(e Expr, comp *compiler, slots map[string]*aggSlot) error 
 	case *Literal, *ColumnRef:
 		return nil
 	case *Unary:
-		return collectAggregates(x.X, comp, slots)
+		return findAggregates(x.X, seen)
 	case *Binary:
-		if err := collectAggregates(x.L, comp, slots); err != nil {
+		if err := findAggregates(x.L, seen); err != nil {
 			return err
 		}
-		return collectAggregates(x.R, comp, slots)
+		return findAggregates(x.R, seen)
 	case *Call:
 		if aggregateFuncs[x.Func] {
 			key := x.String()
-			if _, ok := slots[key]; ok {
+			if _, ok := seen[key]; ok {
 				return nil
 			}
-			slot := &aggSlot{call: x}
 			if !x.Star {
 				if len(x.Args) != 1 {
 					return fmt.Errorf("sql: %s expects one argument", x.Func)
@@ -394,61 +455,202 @@ func collectAggregates(e Expr, comp *compiler, slots map[string]*aggSlot) error 
 				if ContainsAggregate(x.Args[0]) {
 					return fmt.Errorf("sql: nested aggregate in %s", key)
 				}
-				g, err := comp.compile(x.Args[0])
-				if err != nil {
-					return err
-				}
-				slot.arg = g
 			} else if x.Func != "COUNT" {
 				return fmt.Errorf("sql: %s(*) is not valid", x.Func)
 			}
-			slots[key] = slot
+			seen[key] = x
 			return nil
 		}
 		for _, a := range x.Args {
-			if err := collectAggregates(a, comp, slots); err != nil {
+			if err := findAggregates(a, seen); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *InList:
-		if err := collectAggregates(x.X, comp, slots); err != nil {
+		if err := findAggregates(x.X, seen); err != nil {
 			return err
 		}
 		for _, a := range x.List {
-			if err := collectAggregates(a, comp, slots); err != nil {
+			if err := findAggregates(a, seen); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *Between:
-		if err := collectAggregates(x.X, comp, slots); err != nil {
+		if err := findAggregates(x.X, seen); err != nil {
 			return err
 		}
-		if err := collectAggregates(x.Lo, comp, slots); err != nil {
+		if err := findAggregates(x.Lo, seen); err != nil {
 			return err
 		}
-		return collectAggregates(x.Hi, comp, slots)
+		return findAggregates(x.Hi, seen)
 	case *IsNull:
-		return collectAggregates(x.X, comp, slots)
+		return findAggregates(x.X, seen)
 	case *Like:
-		if err := collectAggregates(x.X, comp, slots); err != nil {
+		if err := findAggregates(x.X, seen); err != nil {
 			return err
 		}
-		return collectAggregates(x.Pattern, comp, slots)
+		return findAggregates(x.Pattern, seen)
 	case *Case:
 		for _, w := range x.Whens {
-			if err := collectAggregates(w.Cond, comp, slots); err != nil {
+			if err := findAggregates(w.Cond, seen); err != nil {
 				return err
 			}
-			if err := collectAggregates(w.Result, comp, slots); err != nil {
+			if err := findAggregates(w.Result, seen); err != nil {
 				return err
 			}
 		}
-		return collectAggregates(x.Else, comp, slots)
+		return findAggregates(x.Else, seen)
 	default:
 		return fmt.Errorf("sql: cannot analyse %T", e)
 	}
+}
+
+// statementAggregates discovers every distinct aggregate call across the
+// statement's items, HAVING and ORDER BY, returning calls in canonical
+// (sorted string) order. Both executors and the plan lowering share it, so
+// slot order is identical everywhere.
+func statementAggregates(stmt *SelectStmt) ([]string, []*Call, error) {
+	seen := make(map[string]*Call)
+	for _, it := range stmt.Items {
+		if it.Star {
+			continue
+		}
+		if err := findAggregates(it.Expr, seen); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := findAggregates(stmt.Having, seen); err != nil {
+		return nil, nil, err
+	}
+	for _, o := range stmt.OrderBy {
+		if err := findAggregates(o.Expr, seen); err != nil {
+			return nil, nil, err
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	calls := make([]*Call, len(keys))
+	for i, k := range keys {
+		calls[i] = seen[k]
+	}
+	return keys, calls, nil
+}
+
+// compileAggArgs compiles each aggregate call's argument in row context
+// (nil getter for COUNT(*)).
+func compileAggArgs(calls []*Call, comp *compiler) ([]getter, error) {
+	args := make([]getter, len(calls))
+	for i, c := range calls {
+		if c.Star {
+			continue
+		}
+		g, err := comp.compile(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		args[i] = g
+	}
+	return args, nil
+}
+
+// groupOut is one finished group: its key values and the materialised
+// result of every aggregate slot, in slot order. Both executors produce
+// this shape and hand it to projectGroups.
+type groupOut struct {
+	keyVals []dataset.Value
+	res     []dataset.Value
+}
+
+// groupCompiler binds expressions in group context: GROUP BY expressions
+// and aggregate calls become constant lookups; anything else must bottom
+// out in those.
+func groupCompiler(groupKeys []string, slotIndex map[string]int, grp *groupOut) *compiler {
+	return &compiler{bindNode: func(e Expr) (getter, bool, error) {
+		s := e.String()
+		for i, gk := range groupKeys {
+			if s == gk {
+				v := grp.keyVals[i]
+				return func(int) (dataset.Value, error) { return v, nil }, true, nil
+			}
+		}
+		if c, ok := e.(*Call); ok && aggregateFuncs[c.Func] {
+			i, ok := slotIndex[s]
+			if !ok {
+				return nil, false, fmt.Errorf("sql: internal: unregistered aggregate %s", s)
+			}
+			v := grp.res[i]
+			return func(int) (dataset.Value, error) { return v, nil }, true, nil
+		}
+		if ref, ok := e.(*ColumnRef); ok {
+			return nil, false, fmt.Errorf("sql: column %q must appear in GROUP BY or inside an aggregate", ref.Name)
+		}
+		return nil, false, nil
+	}}
+}
+
+// projectGroups runs the post-aggregation tail shared by both executors:
+// HAVING, item projection, ORDER BY key binding, then DISTINCT/sort/limit
+// via finishRows.
+func projectGroups(stmt *SelectStmt, table *dataset.Table, groupKeys []string, slotIndex map[string]int, groups []*groupOut) (*dataset.Table, error) {
+	names := make([]string, len(stmt.Items))
+	roles := make([]dataset.Role, len(stmt.Items))
+	for i, it := range stmt.Items {
+		names[i] = it.OutputName()
+		roles[i] = dataset.RoleOther
+		if ref, ok := it.Expr.(*ColumnRef); ok && table != nil {
+			if def, found := table.Schema.Def(ref.Name); found {
+				roles[i] = def.Role
+			}
+		}
+	}
+
+	var rows []outputRow
+	for _, grp := range groups {
+		comp := groupCompiler(groupKeys, slotIndex, grp)
+		if stmt.Having != nil {
+			hg, err := comp.compile(stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			v, err := hg(0)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != dataset.KindBool || !v.B {
+				continue
+			}
+		}
+		out := outputRow{vals: make([]dataset.Value, len(stmt.Items))}
+		for i, it := range stmt.Items {
+			g, err := comp.compile(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			v, err := g(0)
+			if err != nil {
+				return nil, err
+			}
+			out.vals[i] = v
+		}
+		ogs, err := bindOrderBy(stmt, comp, names)
+		if err != nil {
+			return nil, err
+		}
+		for _, og := range ogs {
+			v, err := og.get(0, out.vals)
+			if err != nil {
+				return nil, err
+			}
+			out.keys = append(out.keys, v)
+		}
+		rows = append(rows, out)
+	}
+	return finishRows(stmt, names, roles, rows)
 }
 
 type group struct {
@@ -480,25 +682,14 @@ func executeAggregate(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, e
 	}
 
 	// Discover aggregate slots across items, HAVING and ORDER BY.
-	slots := make(map[string]*aggSlot)
-	for _, it := range stmt.Items {
-		if err := collectAggregates(it.Expr, rowComp, slots); err != nil {
-			return nil, err
-		}
-	}
-	if err := collectAggregates(stmt.Having, rowComp, slots); err != nil {
+	slotKeys, calls, err := statementAggregates(stmt)
+	if err != nil {
 		return nil, err
 	}
-	for _, o := range stmt.OrderBy {
-		if err := collectAggregates(o.Expr, rowComp, slots); err != nil {
-			return nil, err
-		}
+	argGetters, err := compileAggArgs(calls, rowComp)
+	if err != nil {
+		return nil, err
 	}
-	slotKeys := make([]string, 0, len(slots))
-	for k := range slots {
-		slotKeys = append(slotKeys, k)
-	}
-	sort.Strings(slotKeys)
 	slotIndex := make(map[string]int, len(slotKeys))
 	for i, k := range slotKeys {
 		slotIndex[k] = i
@@ -545,19 +736,18 @@ func executeAggregate(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, e
 		grp, ok := groups[key]
 		if !ok {
 			grp = &group{keyVals: keyVals, accs: make([]*aggAccumulator, len(slotKeys))}
-			for i, k := range slotKeys {
-				grp.accs[i] = newAccumulator(slots[k].call.Func)
+			for i := range calls {
+				grp.accs[i] = newAccumulator(calls[i].Func)
 			}
 			groups[key] = grp
 			order = append(order, key)
 		}
-		for i, k := range slotKeys {
-			slot := slots[k]
-			if slot.arg == nil { // COUNT(*)
+		for i := range calls {
+			if argGetters[i] == nil { // COUNT(*)
 				grp.accs[i].count++
 				continue
 			}
-			v, err := slot.arg(r)
+			v, err := argGetters[i](r)
 			if err != nil {
 				return nil, err
 			}
@@ -570,94 +760,28 @@ func executeAggregate(stmt *SelectStmt, table *dataset.Table) (*dataset.Table, e
 	// global group (SELECT COUNT(*) FROM empty = 0).
 	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
 		grp := &group{accs: make([]*aggAccumulator, len(slotKeys))}
-		for i, k := range slotKeys {
-			grp.accs[i] = newAccumulator(slots[k].call.Func)
+		for i := range calls {
+			grp.accs[i] = newAccumulator(calls[i].Func)
 		}
 		groups["\x00global"] = grp
 		order = append(order, "\x00global")
 	}
 
-	// Group-context compiler: group expressions and aggregate calls become
-	// lookups; anything else must bottom out in those.
-	makeGroupComp := func(grp *group) *compiler {
-		return &compiler{bindNode: func(e Expr) (getter, bool, error) {
-			s := e.String()
-			for i, gk := range groupKeys {
-				if s == gk {
-					v := grp.keyVals[i]
-					return func(int) (dataset.Value, error) { return v, nil }, true, nil
-				}
-			}
-			if c, ok := e.(*Call); ok && aggregateFuncs[c.Func] {
-				i, ok := slotIndex[s]
-				if !ok {
-					return nil, false, fmt.Errorf("sql: internal: unregistered aggregate %s", s)
-				}
-				v := grp.accs[i].result()
-				return func(int) (dataset.Value, error) { return v, nil }, true, nil
-			}
-			if ref, ok := e.(*ColumnRef); ok {
-				return nil, false, fmt.Errorf("sql: column %q must appear in GROUP BY or inside an aggregate", ref.Name)
-			}
-			return nil, false, nil
-		}}
-	}
-
-	names := make([]string, len(stmt.Items))
-	roles := make([]dataset.Role, len(stmt.Items))
-	for i, it := range stmt.Items {
-		names[i] = it.OutputName()
-		roles[i] = dataset.RoleOther
-		if ref, ok := it.Expr.(*ColumnRef); ok && table != nil {
-			if def, found := table.Schema.Def(ref.Name); found {
-				roles[i] = def.Role
-			}
-		}
-	}
-
-	var rows []outputRow
+	// Materialise each group's aggregate results in first-appearance order.
+	outs := make([]*groupOut, 0, len(order))
 	for _, key := range order {
 		grp := groups[key]
-		comp := makeGroupComp(grp)
-		if stmt.Having != nil {
-			hg, err := comp.compile(stmt.Having)
+		out := &groupOut{keyVals: grp.keyVals, res: make([]dataset.Value, len(grp.accs))}
+		for i, acc := range grp.accs {
+			v, err := acc.result()
 			if err != nil {
 				return nil, err
 			}
-			v, err := hg(0)
-			if err != nil {
-				return nil, err
-			}
-			if v.Kind != dataset.KindBool || !v.B {
-				continue
-			}
+			out.res[i] = v
 		}
-		out := outputRow{vals: make([]dataset.Value, len(stmt.Items))}
-		for i, it := range stmt.Items {
-			g, err := comp.compile(it.Expr)
-			if err != nil {
-				return nil, err
-			}
-			v, err := g(0)
-			if err != nil {
-				return nil, err
-			}
-			out.vals[i] = v
-		}
-		ogs, err := bindOrderBy(stmt, comp, names)
-		if err != nil {
-			return nil, err
-		}
-		for _, og := range ogs {
-			v, err := og.get(0, out.vals)
-			if err != nil {
-				return nil, err
-			}
-			out.keys = append(out.keys, v)
-		}
-		rows = append(rows, out)
+		outs = append(outs, out)
 	}
-	return finishRows(stmt, names, roles, rows)
+	return projectGroups(stmt, table, groupKeys, slotIndex, outs)
 }
 
 // cutExplain strips a leading EXPLAIN keyword (case-insensitive) and
@@ -672,66 +796,6 @@ func cutExplain(query string) (string, bool) {
 		return trimmed[8:], true
 	}
 	return query, false
-}
-
-// ExplainPlan renders the fixed execution pipeline a statement will run
-// through, one step per line, innermost first — the engine's EXPLAIN.
-func ExplainPlan(stmt *SelectStmt) []string {
-	var plan []string
-	if stmt.From != "" {
-		plan = append(plan, fmt.Sprintf("scan %s", quoteIdent(stmt.From)))
-	} else {
-		plan = append(plan, "const row")
-	}
-	if stmt.Where != nil {
-		plan = append(plan, "filter "+stmt.Where.String())
-	}
-	isAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
-	for _, it := range stmt.Items {
-		if !it.Star && ContainsAggregate(it.Expr) {
-			isAgg = true
-		}
-	}
-	if isAgg {
-		if len(stmt.GroupBy) > 0 {
-			keys := make([]string, len(stmt.GroupBy))
-			for i, g := range stmt.GroupBy {
-				keys[i] = g.String()
-			}
-			plan = append(plan, "hash aggregate by "+strings.Join(keys, ", "))
-		} else {
-			plan = append(plan, "global aggregate")
-		}
-		if stmt.Having != nil {
-			plan = append(plan, "having "+stmt.Having.String())
-		}
-	}
-	cols := make([]string, len(stmt.Items))
-	for i, it := range stmt.Items {
-		if it.Star {
-			cols[i] = "*"
-		} else {
-			cols[i] = it.OutputName()
-		}
-	}
-	plan = append(plan, "project "+strings.Join(cols, ", "))
-	if stmt.Distinct {
-		plan = append(plan, "distinct")
-	}
-	if len(stmt.OrderBy) > 0 {
-		keys := make([]string, len(stmt.OrderBy))
-		for i, o := range stmt.OrderBy {
-			keys[i] = o.Expr.String()
-			if o.Desc {
-				keys[i] += " DESC"
-			}
-		}
-		plan = append(plan, "sort by "+strings.Join(keys, ", "))
-	}
-	if stmt.Limit >= 0 {
-		plan = append(plan, fmt.Sprintf("limit %d", stmt.Limit))
-	}
-	return plan
 }
 
 // Catalog maps table names to tables and runs queries against them.
@@ -759,11 +823,26 @@ func (c *Catalog) Names() []string {
 }
 
 // Query parses and executes a statement against the catalog. A statement
-// prefixed with EXPLAIN returns the execution plan as a one-column table
-// instead of running.
+// prefixed with EXPLAIN returns the lowered physical plan as a one-row,
+// one-column table holding the plan's JSON document instead of running.
 func (c *Catalog) Query(query string) (*dataset.Table, error) {
 	if rest, ok := cutExplain(query); ok {
 		stmt, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		// EXPLAIN is lenient about unregistered tables: the plan shape
+		// depends only on the statement; the table (when present) merely
+		// refines per-aggregate columnar eligibility.
+		var tbl *dataset.Table
+		if stmt.From != "" {
+			tbl = c.tables[stmt.From]
+		}
+		plan, err := Lower(stmt, tbl)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := plan.JSON()
 		if err != nil {
 			return nil, err
 		}
@@ -772,10 +851,8 @@ func (c *Catalog) Query(query string) (*dataset.Table, error) {
 			return nil, err
 		}
 		t := dataset.NewTable("plan", schema)
-		for _, line := range ExplainPlan(stmt) {
-			if err := t.AppendRow(dataset.StringVal(line)); err != nil {
-				return nil, err
-			}
+		if err := t.AppendRow(dataset.StringVal(doc)); err != nil {
+			return nil, err
 		}
 		return t, nil
 	}

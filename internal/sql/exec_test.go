@@ -1,7 +1,9 @@
 package sql
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"viewseeker/internal/dataset"
@@ -470,43 +472,104 @@ func TestCaseStringRoundTrip(t *testing.T) {
 	}
 }
 
+// explainDoc runs an EXPLAIN query and decodes the one-row JSON plan.
+func explainDoc(t *testing.T, c *Catalog, query string) *Plan {
+	t.Helper()
+	res := q(t, c, query)
+	if res.NumRows() != 1 {
+		t.Fatalf("EXPLAIN rows = %d, want 1", res.NumRows())
+	}
+	var p Plan
+	if err := json.Unmarshal([]byte(res.Column("plan").Strs[0]), &p); err != nil {
+		t.Fatalf("EXPLAIN output is not JSON: %v", err)
+	}
+	return &p
+}
+
+// ops flattens the plan's operator chain outermost-first.
+func ops(p *Plan) []string {
+	var out []string
+	for n := p.Root; n != nil; n = n.Input {
+		out = append(out, n.Op)
+	}
+	return out
+}
+
 func TestExplain(t *testing.T) {
 	c := salesCatalog(t)
-	res := q(t, c, "EXPLAIN SELECT region, COUNT(*) AS n FROM sales WHERE qty > 1 GROUP BY region HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 3")
-	var plan []string
-	for i := 0; i < res.NumRows(); i++ {
-		plan = append(plan, res.Column("plan").Strs[i])
+	p := explainDoc(t, c, "EXPLAIN SELECT region, COUNT(*) AS n FROM sales WHERE qty > 1 GROUP BY region HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 3")
+	if p.Version != PlanVersion {
+		t.Errorf("version = %d, want %d", p.Version, PlanVersion)
 	}
-	want := []string{
-		"scan sales",
-		"filter (qty > 1)",
-		"hash aggregate by region",
-		"having (COUNT(*) > 1)",
-		"project region, n",
-		"sort by n DESC",
-		"limit 3",
+	got := ops(p)
+	want := []string{"limit", "sort", "project", "filter", "aggregate", "filter", "scan"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("ops = %v, want %v", got, want)
 	}
-	if len(plan) != len(want) {
-		t.Fatalf("plan = %q", plan)
+	// Spot-check operator payloads down the chain.
+	limit := p.Root
+	if limit.Count == nil || *limit.Count != 3 {
+		t.Errorf("limit count = %v", limit.Count)
 	}
-	for i := range want {
-		if plan[i] != want[i] {
-			t.Errorf("plan[%d] = %q, want %q", i, plan[i], want[i])
-		}
+	sortN := limit.Input
+	if len(sortN.Keys) != 1 || sortN.Keys[0].Expr != "n" || !sortN.Keys[0].Desc {
+		t.Errorf("sort keys = %+v", sortN.Keys)
 	}
+	project := sortN.Input
+	if strings.Join(project.Columns, ",") != "region,n" {
+		t.Errorf("project columns = %v", project.Columns)
+	}
+	having := project.Input
+	if having.Phase != "having" || having.Predicate != "(COUNT(*) > 1)" {
+		t.Errorf("having = %+v", having)
+	}
+	agg := having.Input
+	if agg.Strategy != "fused-hash" || strings.Join(agg.GroupBy, ",") != "region" {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if len(agg.Aggregates) != 1 || agg.Aggregates[0].Call != "COUNT(*)" ||
+		agg.Aggregates[0].Fn != "COUNT" || !agg.Aggregates[0].Star || !agg.Aggregates[0].Columnar {
+		t.Errorf("aggregates = %+v", agg.Aggregates)
+	}
+	filter := agg.Input
+	if filter.Predicate != "(qty > 1)" || filter.Phase != "" {
+		t.Errorf("filter = %+v", filter)
+	}
+	if filter.Input.Op != "scan" || filter.Input.Table != "sales" {
+		t.Errorf("scan = %+v", filter.Input)
+	}
+
+	// Columnar eligibility: numeric column yes, string column no, MIN no.
+	p = explainDoc(t, c, "EXPLAIN SELECT SUM(qty), SUM(region), MIN(price) FROM sales")
+	agg = p.Root.Input // project -> aggregate
+	if agg.Strategy != "fused-global" {
+		t.Errorf("strategy = %q", agg.Strategy)
+	}
+	byCall := make(map[string]PlanAggregate)
+	for _, a := range agg.Aggregates {
+		byCall[a.Call] = a
+	}
+	if !byCall["SUM(qty)"].Columnar {
+		t.Error("SUM(qty) should be columnar")
+	}
+	if byCall["SUM(region)"].Columnar {
+		t.Error("SUM(region) should not be columnar")
+	}
+	if byCall["MIN(price)"].Columnar {
+		t.Error("MIN(price) should not be columnar")
+	}
+
 	// Table-less, distinct.
-	res = q(t, c, "explain SELECT DISTINCT 1 + 1")
-	if res.Column("plan").Strs[0] != "const row" {
-		t.Errorf("plan = %v", res.Column("plan").Strs)
+	p = explainDoc(t, c, "explain SELECT DISTINCT 1 + 1")
+	got = ops(p)
+	want = []string{"distinct", "project", "values"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ops = %v, want %v", got, want)
 	}
-	found := false
-	for i := 0; i < res.NumRows(); i++ {
-		if res.Column("plan").Strs[i] == "distinct" {
-			found = true
-		}
-	}
-	if !found {
-		t.Error("plan missing distinct step")
+	// EXPLAIN is lenient about unregistered tables: plan shape only.
+	p = explainDoc(t, c, "EXPLAIN SELECT COUNT(x) FROM nosuch")
+	if p.Root.Input.Aggregates[0].Columnar {
+		t.Error("unknown table cannot promise a columnar path")
 	}
 	// EXPLAIN of an invalid statement fails like parsing it would.
 	if _, err := c.Query("EXPLAIN SELECT FROM"); err == nil {

@@ -148,8 +148,10 @@ type Key struct {
 }
 
 // fingerprintVersion is bumped whenever the fingerprint encoding or the
-// meaning of any keyed field changes, orphaning all old entries.
-const fingerprintVersion = 1
+// meaning of any keyed field changes, orphaning all old entries. Version 2:
+// the ACCURACY feature moved to shifted second moments, changing cached
+// feature-matrix values for large-mean measures.
+const fingerprintVersion = 2
 
 // Fingerprint returns the hex cache address of the key.
 func (k Key) Fingerprint() string {

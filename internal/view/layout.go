@@ -187,9 +187,20 @@ func (l *BinLayout) binOfFloat(f float64) int {
 // statistic X of measure m in bin b lives at X[Index(m, b)] — so the scan
 // kernels accumulate into one cache-resident stripe per measure instead of
 // chasing a pointer per bin.
+//
+// SumSqs is accumulated about a per-measure shift (Shifts[m], the
+// measure's first non-null value over the full column): SumSqs[Index(m,b)]
+// is Σ(v−Shifts[m])². Shifting the second moment near the data keeps
+// downstream variance forms (metric.Accuracy) numerically stable for
+// measures whose mean is large relative to their spread; consumers must
+// pass the matching shift alongside. The shift is a property of the full
+// column — independent of the scanned row subset — so partial scans stay
+// additive and sampled scans agree with full ones.
 type Stats struct {
 	Layout   *BinLayout
 	Measures []string
+	// Shifts[m] is the constant subtracted inside measure m's SumSqs.
+	Shifts []float64
 	// All indexed [measure*NumBins()+bin]; see Index.
 	Counts []float64
 	Sums   []float64
@@ -206,6 +217,7 @@ func newStats(layout *BinLayout, measures []string) *Stats {
 	n := layout.NumBins() * len(measures)
 	s := &Stats{
 		Layout: layout, Measures: measures,
+		Shifts: make([]float64, len(measures)),
 		Counts: make([]float64, n), Sums: make([]float64, n), SumSqs: make([]float64, n),
 		Mins: make([]float64, n), Maxs: make([]float64, n),
 	}
@@ -214,6 +226,24 @@ func newStats(layout *BinLayout, measures []string) *Stats {
 		s.Maxs[i] = math.Inf(-1)
 	}
 	return s
+}
+
+// measureShift returns the variance-stabilising shift of one measure
+// column: its first non-null numeric value, 0 for all-null or non-numeric
+// columns. It depends only on the full column, never on the row subset
+// being scanned, so every scan of a table (full, sampled, focused) derives
+// the same shift and their SumSqs remain directly comparable and additive.
+func measureShift(col *dataset.Column) float64 {
+	vals, nulls, ok := col.NumericView()
+	if !ok {
+		return 0
+	}
+	for r := range vals {
+		if !isNull(nulls, r) {
+			return vals[r]
+		}
+	}
+	return 0
 }
 
 // smallDictMax is the categorical cardinality up to which the bin-index
@@ -250,6 +280,68 @@ func BinIndex(t *dataset.Table, layout *BinLayout) ([]int32, error) {
 	bins := make([]int32, t.NumRows())
 	layout.fillBins(dimCol, bins)
 	return bins, nil
+}
+
+// BinIndexAll materialises the bin index of every supplied layout — all
+// bin configurations of one dimension — in a single pass over the
+// dimension column. Each result is exactly BinIndex's for that layout;
+// fusing the pass means a multi-configuration numeric dimension pays one
+// column read and one null test per row instead of one per configuration.
+func BinIndexAll(t *dataset.Table, layouts []*BinLayout) ([][]int32, error) {
+	if len(layouts) == 0 {
+		return nil, nil
+	}
+	dim := layouts[0].Dimension
+	for _, l := range layouts[1:] {
+		if l.Dimension != dim {
+			return nil, fmt.Errorf("view: BinIndexAll layouts mix dimensions %q and %q", dim, l.Dimension)
+		}
+	}
+	dimCol := t.Column(dim)
+	if dimCol == nil {
+		return nil, fmt.Errorf("view: table %q has no column %q", t.Name, dim)
+	}
+	out := make([][]int32, len(layouts))
+	for i := range out {
+		out[i] = make([]int32, t.NumRows())
+	}
+	allNumeric := true
+	for _, l := range layouts {
+		if !l.Numeric {
+			allNumeric = false
+			break
+		}
+	}
+	if allNumeric && len(layouts) > 1 {
+		vals, nulls, ok := dimCol.NumericView()
+		if !ok {
+			// fillBins's rule for a dimension with no numeric view: every
+			// row is outside every layout.
+			for i := range out {
+				for r := range out[i] {
+					out[i][r] = -1
+				}
+			}
+			return out, nil
+		}
+		for r := range vals {
+			if isNull(nulls, r) {
+				for i := range layouts {
+					out[i][r] = -1
+				}
+				continue
+			}
+			v := vals[r]
+			for i, l := range layouts {
+				out[i][r] = int32(l.binOfFloat(v))
+			}
+		}
+		return out, nil
+	}
+	for i, l := range layouts {
+		l.fillBins(dimCol, out[i])
+	}
+	return out, nil
 }
 
 // fillBins is the columnar bin-index kernel: it switches on the dimension
@@ -406,6 +498,9 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 	}
 	nb := layout.NumBins()
 	s := newStats(layout, measures)
+	for m, col := range mCols {
+		s.Shifts[m] = measureShift(col)
+	}
 	if bins == nil && rows == nil {
 		// Full unindexed scan: bin the dimension once up front, then run
 		// the indexed kernels — the same decode-once work a cached index
@@ -422,7 +517,7 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 			base := m * nb
 			accumulateColumn(s.Counts[base:base+nb], s.Sums[base:base+nb],
 				s.SumSqs[base:base+nb], s.Mins[base:base+nb], s.Maxs[base:base+nb],
-				vals, nulls, rows, bins)
+				vals, nulls, rows, bins, s.Shifts[m])
 		}
 		return s, nil
 	}
@@ -444,10 +539,11 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 				continue
 			}
 			v := views[m][r]
+			d := v - s.Shifts[m]
 			i := m*nb + b
 			s.Counts[i]++
 			s.Sums[i] += v
-			s.SumSqs[i] += v * v
+			s.SumSqs[i] += d * d
 			if v < s.Mins[i] {
 				s.Mins[i] = v
 			}
@@ -462,8 +558,9 @@ func collectStats(t *dataset.Table, layout *BinLayout, measures []string, rows [
 // accumulateColumn is the per-measure inner loop of the indexed scan
 // kernels: one decoded column accumulated into one measure's flat stripe.
 // All branching on scan shape (full vs row subset) and null presence is
-// hoisted out of the row loop, leaving four straight-line variants.
-func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows []int, bins []int32) {
+// hoisted out of the row loop, leaving four straight-line variants. The
+// second moment accumulates about shift (see Stats.Shifts).
+func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows []int, bins []int32, shift float64) {
 	switch {
 	case rows == nil && nulls == nil:
 		for r, b := range bins {
@@ -471,9 +568,10 @@ func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows
 				continue
 			}
 			v := vals[r]
+			d := v - shift
 			cnt[b]++
 			sum[b] += v
-			sq[b] += v * v
+			sq[b] += d * d
 			if v < mn[b] {
 				mn[b] = v
 			}
@@ -487,9 +585,10 @@ func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows
 				continue
 			}
 			v := vals[r]
+			d := v - shift
 			cnt[b]++
 			sum[b] += v
-			sq[b] += v * v
+			sq[b] += d * d
 			if v < mn[b] {
 				mn[b] = v
 			}
@@ -504,9 +603,10 @@ func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows
 				continue
 			}
 			v := vals[r]
+			d := v - shift
 			cnt[b]++
 			sum[b] += v
-			sq[b] += v * v
+			sq[b] += d * d
 			if v < mn[b] {
 				mn[b] = v
 			}
@@ -521,9 +621,10 @@ func accumulateColumn(cnt, sum, sq, mn, mx, vals []float64, nulls []uint64, rows
 				continue
 			}
 			v := vals[r]
+			d := v - shift
 			cnt[b]++
 			sum[b] += v
-			sq[b] += v * v
+			sq[b] += d * d
 			if v < mn[b] {
 				mn[b] = v
 			}
@@ -567,15 +668,23 @@ func CollectStatsReference(t *dataset.Table, layout *BinLayout, measures []strin
 			maxs[b][m] = math.Inf(-1)
 		}
 	}
+	// The same full-column shifts as the flat kernels (measureShift is a
+	// column property, not a scan strategy), so flat-vs-reference stays a
+	// bit-identity comparison over every array including SumSqs.
+	shifts := make([]float64, len(mCols))
+	for m, col := range mCols {
+		shifts[m] = measureShift(col)
+	}
 	accumulate := func(r, b int) {
 		for m, col := range mCols {
 			v, ok := col.Float(r)
 			if !ok {
 				continue
 			}
+			d := v - shifts[m]
 			counts[b][m]++
 			sums[b][m] += v
-			sumsqs[b][m] += v * v
+			sumsqs[b][m] += d * d
 			if v < mins[b][m] {
 				mins[b][m] = v
 			}
@@ -598,6 +707,7 @@ func CollectStatsReference(t *dataset.Table, layout *BinLayout, measures []strin
 		}
 	}
 	s := newStats(layout, measures)
+	copy(s.Shifts, shifts)
 	for b := 0; b < nb; b++ {
 		for m := range measures {
 			i := s.Index(m, b)
@@ -626,6 +736,7 @@ func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
 	nb := s.Layout.NumBins()
 	h := &Histogram{
 		Labels: s.Layout.Labels,
+		Shift:  s.Shifts[mi],
 		Values: make([]float64, nb),
 		Counts: make([]float64, nb),
 		Sums:   make([]float64, nb),

@@ -3,6 +3,7 @@ package view
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"viewseeker/internal/dataset"
 	"viewseeker/internal/obs"
@@ -89,6 +90,10 @@ type Generator struct {
 
 	specs   []Spec
 	layouts map[layoutKey]*BinLayout // immutable after construction
+	// dimLayouts orders each dimension's layout keys (ascending bin
+	// count); its index positions address the per-dimension bin-index
+	// bundles below. Immutable after construction.
+	dimLayouts map[string][]layoutKey
 
 	refStats lazyCache[layoutKey, *Stats] // full-data reference stats cache
 	tgtStats lazyCache[layoutKey, *Stats] // full-data target stats cache
@@ -97,11 +102,13 @@ type Generator struct {
 	// an all-measures layout scan.
 	refFocused lazyCache[measureKey, *Stats]
 	tgtFocused lazyCache[measureKey, *Stats]
-	// Lazily built dictionary-encoded dimension columns (row → bin) for
-	// full scans; narrow refresh scans of the same layout reuse them and
-	// skip the per-row bin lookup.
-	refBins lazyCache[layoutKey, []int32]
-	tgtBins lazyCache[layoutKey, []int32]
+	// Lazily built dictionary-encoded dimension columns (row → bin),
+	// keyed by dimension: one single-flight entry materialises the bin
+	// indexes of every bin configuration of that dimension in one shared
+	// pass (BinIndexAll), so warm-up, focused refresh and the SQL offline
+	// path never re-read a dimension column per configuration.
+	refBins lazyCache[string, [][]int32]
+	tgtBins lazyCache[string, [][]int32]
 }
 
 type layoutKey struct {
@@ -144,6 +151,13 @@ func NewGenerator(ref, target *dataset.Table, cfg SpaceConfig) (*Generator, erro
 			return nil, err
 		}
 		g.layouts[k] = l
+	}
+	g.dimLayouts = make(map[string][]layoutKey)
+	for k := range g.layouts {
+		g.dimLayouts[k.dim] = append(g.dimLayouts[k.dim], k)
+	}
+	for _, ks := range g.dimLayouts {
+		sort.Slice(ks, func(i, j int) bool { return ks[i].bins < ks[j].bins })
 	}
 	return g, nil
 }
@@ -199,11 +213,29 @@ func (g *Generator) WarmCtx(ctx context.Context, workers int) error {
 }
 
 // binsFor returns (building lazily) the dictionary-encoded bin column of
-// one table under one layout.
-func (g *Generator) binsFor(t *dataset.Table, cache *lazyCache[layoutKey, []int32], k layoutKey) ([]int32, error) {
-	return cache.get(k, func() ([]int32, error) {
-		return BinIndex(t, g.layouts[k])
+// one table under one layout. The whole dimension is materialised at once:
+// the cache entry holds one bin index per bin configuration of the
+// layout's dimension, built in a single shared pass over the dimension
+// column, and single-flight caching makes concurrent warm jobs for sibling
+// configurations wait on that one pass instead of each paying their own.
+func (g *Generator) binsFor(t *dataset.Table, cache *lazyCache[string, [][]int32], k layoutKey) ([]int32, error) {
+	keys := g.dimLayouts[k.dim]
+	all, err := cache.get(k.dim, func() ([][]int32, error) {
+		layouts := make([]*BinLayout, len(keys))
+		for i, kk := range keys {
+			layouts[i] = g.layouts[kk]
+		}
+		return BinIndexAll(t, layouts)
 	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kk := range keys {
+		if kk == k {
+			return all[i], nil
+		}
+	}
+	return nil, fmt.Errorf("view: layout %s/%d bins is outside the enumerated space", k.dim, k.bins)
 }
 
 // statsFor returns the group statistics of one table under one layout,
@@ -248,7 +280,7 @@ func (g *Generator) PairFocused(s Spec) (*Pair, error) {
 	if !ok {
 		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
 	}
-	statsOf := func(t *dataset.Table, full *lazyCache[layoutKey, *Stats], focused *lazyCache[measureKey, *Stats], binCache *lazyCache[layoutKey, []int32]) (*Stats, error) {
+	statsOf := func(t *dataset.Table, full *lazyCache[layoutKey, *Stats], focused *lazyCache[measureKey, *Stats], binCache *lazyCache[string, [][]int32]) (*Stats, error) {
 		if st, ok := full.peek(k); ok {
 			return st, nil
 		}

@@ -52,10 +52,14 @@ func (s Spec) SQL(table string, layout *BinLayout) string {
 // the Accuracy and p-value utility components need.
 type Histogram struct {
 	Labels []string
+	// Shift is the constant subtracted inside SumSqs (the measure's first
+	// non-null value; see view.Stats). Consumers of SumSqs must pass it
+	// alongside, e.g. to metric.Accuracy.
+	Shift  float64
 	Values []float64 // f(m) per bin
 	Counts []float64 // rows per bin
 	Sums   []float64 // Σ m per bin
-	SumSqs []float64 // Σ m² per bin
+	SumSqs []float64 // Σ (m−Shift)² per bin
 }
 
 // Bins returns the number of bins.
