@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"viewseeker"
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/view"
+)
+
+// appendResult is one live-table datapoint: WAL-append throughput plus the
+// cost of keeping the offline result current — incrementally (Advance)
+// versus recomputing from scratch.
+type appendResult struct {
+	Dataset    string `json:"dataset"`
+	Rows       int    `json:"rows"`
+	AppendRows int    `json:"append_rows"`
+	// WalAppendNs is one durable Append call (encode, write, fsync,
+	// copy-on-append publish) for the whole batch.
+	WalAppendNs      int64   `json:"wal_append_ns"`
+	WalAppendRowsSec float64 `json:"wal_append_rows_per_sec"`
+	// DeltaNs is Maintained.Advance: rerun the exploration query, verify
+	// the prefix, extend bin indexes / stats / matrix with the suffix.
+	DeltaNs int64 `json:"delta_maintain_ns"`
+	// RebuildNs is what a non-incremental system pays on every append:
+	// query, generator, full feature pass over the grown table.
+	RebuildNs int64   `json:"full_rebuild_ns"`
+	Speedup   float64 `json:"delta_vs_rebuild_speedup"`
+}
+
+// appendReport is the BENCH_append.json document.
+type appendReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	Description   string         `json:"description"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Results       []appendResult `json:"results"`
+}
+
+// benchAppend measures the live-table append path on SYN at each scale
+// (1% of the rows appended in one batch) and writes the report. Before
+// timing, it verifies the incrementally maintained matrix is bit-identical
+// to a pinned-layout recomputation — the same identity the property tests
+// pin, enforced here on the actual benchmark tables.
+func benchAppend(scales []int, pct float64, out string) {
+	rep := appendReport{
+		SchemaVersion: 1,
+		Description: "Live-table append path on SYN: durable WAL append throughput, and " +
+			"incremental view maintenance (Maintained.Advance) vs a full offline " +
+			"recompute after appending " + fmt.Sprintf("%g%%", pct*100) + " of the rows.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, rows := range scales {
+		fmt.Fprintf(os.Stderr, "bench: append SYN %d rows\n", rows)
+		rep.Results = append(rep.Results, benchAppendScale(rows, pct))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+}
+
+func benchAppendScale(rows int, pct float64) appendResult {
+	appendRows := int(float64(rows) * pct)
+	if appendRows < 1 {
+		appendRows = 1
+	}
+	full := dataset.GenerateSYN(dataset.SYNConfig{Rows: rows + appendRows, Seed: 1})
+	baseIdx := make([]int, rows)
+	for i := range baseIdx {
+		baseIdx[i] = i
+	}
+	base := full.Subset(full.Name, baseIdx)
+	if err := dataset.AssignRoles(base, full.Schema.Dimensions(), full.Schema.Measures()); err != nil {
+		log.Fatal(err)
+	}
+	batch := make([][]dataset.Value, appendRows)
+	for i := range batch {
+		batch[i] = full.Row(rows + i)
+	}
+	opts := viewseeker.Options{BinCounts: []int{3, 4}}
+	verifyAppendIdentity(base, batch, opts)
+
+	res := appendResult{Dataset: "SYN", Rows: rows, AppendRows: appendRows}
+	const trials = 3
+	res.WalAppendNs = math.MaxInt64
+	res.DeltaNs = math.MaxInt64
+	res.RebuildNs = math.MaxInt64
+	dir, err := os.MkdirTemp("", "bench-append")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for trial := 0; trial < trials; trial++ {
+		lt, _, err := viewseeker.OpenLiveTable(
+			filepath.Join(dir, fmt.Sprintf("t%d.wal", trial)), base, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := viewseeker.Maintain(lt, dataset.SYNQuery, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		if _, err := lt.Append(batch); err != nil {
+			log.Fatal(err)
+		}
+		res.WalAppendNs = min64(res.WalAppendNs, time.Since(start).Nanoseconds())
+
+		start = time.Now()
+		changed, err := m.Advance()
+		res.DeltaNs = min64(res.DeltaNs, time.Since(start).Nanoseconds())
+		if err != nil || !changed {
+			log.Fatalf("bench: Advance: changed %v err %v", changed, err)
+		}
+		if ext, reb := m.Stats(); ext != 1 || reb != 0 {
+			log.Fatalf("bench: Advance fell back to a rebuild (extended %d rebuilt %d) — nothing incremental to measure", ext, reb)
+		}
+
+		// The non-incremental contender: full offline pass over the grown
+		// table (query, generator, exact feature matrix).
+		cur := lt.Current()
+		start = time.Now()
+		tgt, err := viewseeker.Query(cur, dataset.SYNQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tgt.Name = cur.Name + "_dq"
+		g, err := view.NewGenerator(cur, tgt, view.SpaceConfig{BinCounts: []int{3, 4}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := feature.Compute(g, feature.StandardRegistry()); err != nil {
+			log.Fatal(err)
+		}
+		res.RebuildNs = min64(res.RebuildNs, time.Since(start).Nanoseconds())
+		lt.Close()
+	}
+	if res.WalAppendNs > 0 {
+		res.WalAppendRowsSec = float64(appendRows) / (float64(res.WalAppendNs) * 1e-9)
+	}
+	if res.DeltaNs > 0 {
+		res.Speedup = round2(float64(res.RebuildNs) / float64(res.DeltaNs))
+	}
+	fmt.Fprintf(os.Stderr,
+		"  wal_append %12d ns (%10.0f rows/s)  delta %12d ns  rebuild %12d ns  speedup %.1fx\n",
+		res.WalAppendNs, res.WalAppendRowsSec, res.DeltaNs, res.RebuildNs, res.Speedup)
+	return res
+}
+
+// verifyAppendIdentity refuses to benchmark a delta path that diverges
+// from a from-scratch recomputation with the same pinned layouts.
+func verifyAppendIdentity(base *dataset.Table, batch [][]dataset.Value, opts viewseeker.Options) {
+	dir, err := os.MkdirTemp("", "bench-append-verify")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	lt, _, err := viewseeker.OpenLiveTable(filepath.Join(dir, "v.wal"), base, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lt.Close()
+	m, err := viewseeker.Maintain(lt, dataset.SYNQuery, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lt.Append(batch); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Advance(); err != nil {
+		log.Fatal(err)
+	}
+	spaceCfg := view.SpaceConfig{BinCounts: opts.BinCounts}.Normalized()
+	baseTgt, err := viewseeker.Query(base, dataset.SYNQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTgt.Name = base.Name + "_dq"
+	cur := lt.Current()
+	newTgt, err := viewseeker.Query(cur, dataset.SYNQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newTgt.Name = cur.Name + "_dq"
+	cold, err := view.NewGenerator(base, baseTgt, spaceCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scratch, err := cold.ApplyAppend(cur, newTgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := feature.Compute(scratch, feature.StandardRegistry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := m.Matrix()
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if math.Float64bits(got.Rows[i][j]) != math.Float64bits(want.Rows[i][j]) {
+				log.Fatalf("bench: delta-maintained matrix diverges from recompute at view %d feature %d: %v vs %v",
+					i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// checkAppendReport validates a tracked BENCH_append.json: it must parse
+// and carry the SYN 200k entry with the acceptance-level speedup — delta
+// maintenance at least 5× faster than a full rebuild for a 1% append.
+func checkAppendReport(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("bench: -check-append: %v", err)
+	}
+	var rep appendReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("bench: -check-append %s: %v", path, err)
+	}
+	if rep.SchemaVersion != 1 {
+		log.Fatalf("bench: -check-append %s: schema_version = %d, want 1", path, rep.SchemaVersion)
+	}
+	for _, r := range rep.Results {
+		if r.Rows == 200000 {
+			if r.WalAppendRowsSec <= 0 || r.DeltaNs <= 0 || r.RebuildNs <= 0 {
+				log.Fatalf("bench: -check-append %s: SYN 200k entry has non-positive timings: %+v", path, r)
+			}
+			if r.Speedup < 5 {
+				log.Fatalf("bench: -check-append %s: SYN 200k delta speedup %.2fx < 5x", path, r.Speedup)
+			}
+			fmt.Fprintf(os.Stderr, "bench: -check-append %s: SYN 200k entry ok (%.1fx delta speedup, %.0f rows/s durable append)\n",
+				path, r.Speedup, r.WalAppendRowsSec)
+			return
+		}
+	}
+	log.Fatalf("bench: -check-append %s: missing SYN 200000-row entry", path)
+}

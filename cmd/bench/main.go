@@ -100,10 +100,17 @@ func main() {
 	out := flag.String("o", "BENCH_offline.json", "output path")
 	obsMode := flag.Bool("obs", false, "run an instrumented cold+warm offline phase and report worker occupancy and cache hit rate from the metrics registry")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking: require the tracked SYN 1M-row warm entry")
+	appendMode := flag.Bool("append", false, "benchmark the live-table append path instead of the scan kernels: durable WAL append throughput and incremental maintenance vs full rebuild, written to -o (default BENCH_append.json)")
+	appendPct := flag.Float64("append-pct", 0.01, "fraction of the rows appended in one batch in -append mode")
+	checkAppend := flag.String("check-append", "", "validate an existing BENCH_append.json: require the SYN 200k entry with a >= 5x delta-vs-rebuild speedup")
 	flag.Parse()
 
 	if *check != "" {
 		checkReport(*check)
+		return
+	}
+	if *checkAppend != "" {
+		checkAppendReport(*checkAppend)
 		return
 	}
 
@@ -114,6 +121,15 @@ func main() {
 			log.Fatalf("bench: bad -rows entry %q", s)
 		}
 		scales = append(scales, n)
+	}
+
+	if *appendMode {
+		out := *out
+		if out == "BENCH_offline.json" {
+			out = "BENCH_append.json"
+		}
+		benchAppend(scales, *appendPct, out)
+		return
 	}
 
 	rep := report{

@@ -1,22 +1,29 @@
 // Command datagen writes the synthetic testbed datasets (SYN, DIAB, NBA)
 // to CSV so they can be inspected, loaded into other tools, or fed back to
 // cmd/viewseeker via -data.
+//
+// With -append-batches N the rows are split into a base table plus N
+// equal append batches (<out>.batch1.csv … <out>.batchN.csv), the input
+// shape for exercising the live-table append path: serve the base with
+// -wal-dir and feed the batches to POST /api/tables/{name}/append.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"viewseeker/internal/dataset"
 )
 
 func main() {
 	var (
-		name = flag.String("dataset", "diab", "dataset to generate: diab, syn or nba")
-		rows = flag.Int("rows", 0, "record count (0 = the dataset's paper-scale default)")
-		seed = flag.Int64("seed", 0, "generator seed (0 = the dataset's default)")
-		out  = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+		name    = flag.String("dataset", "diab", "dataset to generate: diab, syn or nba")
+		rows    = flag.Int("rows", 0, "record count (0 = the dataset's paper-scale default)")
+		seed    = flag.Int64("seed", 0, "generator seed (0 = the dataset's default)")
+		out     = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+		batches = flag.Int("append-batches", 0, "split the rows into a base CSV plus this many append-batch CSVs (<out>.batchK.csv), for replaying through the live-table append API")
 	)
 	flag.Parse()
 	var t *dataset.Table
@@ -56,6 +63,10 @@ func main() {
 	if path == "" {
 		path = *name + ".csv"
 	}
+	if *batches > 0 {
+		writeAppendBatches(t, path, *batches)
+		return
+	}
 	if err := dataset.WriteCSVWithSchema(t, path); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
@@ -63,4 +74,41 @@ func main() {
 	fmt.Printf("wrote %d rows × %d columns to %s (+ .schema.json sidecar)\n", t.NumRows(), t.Schema.Len(), path)
 	fmt.Printf("dimensions: %v\n", t.Schema.Dimensions())
 	fmt.Printf("measures:   %v\n", t.Schema.Measures())
+}
+
+// writeAppendBatches splits the table into a base CSV plus n append-batch
+// CSVs. The batches together hold the last tenth of the rows, split
+// evenly — large base, small appends, the shape incremental maintenance
+// is built for.
+func writeAppendBatches(t *dataset.Table, path string, n int) {
+	per := t.NumRows() / (10 * n)
+	if per < 1 {
+		fmt.Fprintf(os.Stderr, "datagen: %d rows cannot fill %d append batches (need at least %d rows)\n",
+			t.NumRows(), n, 10*n)
+		os.Exit(1)
+	}
+	baseRows := t.NumRows() - per*n
+	write := func(sub *dataset.Table, p string) {
+		if err := dataset.WriteCSVWithSchema(sub, p); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+	write(t.Subset(t.Name, seq(0, baseRows)), path)
+	fmt.Printf("wrote base %s: %d rows × %d columns (+ .schema.json sidecar)\n", path, baseRows, t.Schema.Len())
+	stem := strings.TrimSuffix(path, ".csv")
+	for k := 1; k <= n; k++ {
+		from := baseRows + (k-1)*per
+		p := fmt.Sprintf("%s.batch%d.csv", stem, k)
+		write(t.Subset(t.Name, seq(from, from+per)), p)
+		fmt.Printf("wrote batch %s: %d rows\n", p, per)
+	}
+}
+
+func seq(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
 }

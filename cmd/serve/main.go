@@ -14,9 +14,15 @@
 // net/http/pprof profiling handlers under /debug/pprof/, and -trace-log
 // streams every completed root span as one JSON line to a file.
 //
+// With -wal-dir every table is hosted live: POST /api/tables/{name}/append
+// durably grows it through a write-ahead log, sessions in flight keep the
+// version they started on, and a restart with the same tables and
+// directory replays committed appends (a torn tail from a crash is
+// truncated; the table comes back at the last committed batch).
+//
 // Usage:
 //
-//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [-pprof] [-trace-log spans.jsonl] [name=path.csv ...]
+//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [-wal-dir wal/] [-pprof] [-trace-log spans.jsonl] [name=path.csv ...]
 package main
 
 import (
@@ -49,6 +55,8 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline: the handler's context is cancelled and the client gets 503 when a request runs longer (0 disables)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (off by default: profiles expose internals, so opt in explicitly)")
 		traceLog   = flag.String("trace-log", "", "append every completed phase trace as one JSON line to this file (empty = traces only in the in-memory ring at /debug/vars)")
+		walDir     = flag.String("wal-dir", "", "host every table as a live (appendable) table, write-ahead-logged under this directory as <name>.wal; POST /api/tables/{name}/append grows a table, a restart with the same tables and directory replays committed appends")
+		syncEvery  = flag.Int("wal-sync-every", 1, "fsync the WAL once per this many append batches (1 = every batch; higher trades a bounded durability window for append throughput)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -103,6 +111,29 @@ func main() {
 		opts = server.Options{Cache: cache, Journal: journal}
 	}
 	srv := server.NewWithOptions(opts, tables...)
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			lt, rec, err := viewseeker.OpenLiveTable(filepath.Join(*walDir, t.Name+".wal"), t, *syncEvery)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: opening WAL for %q: %v\n", t.Name, err)
+				os.Exit(1)
+			}
+			defer lt.Close()
+			if rec.LastSeq > 0 {
+				fmt.Printf("Replayed %d append batch(es) for %q (now %d rows)\n",
+					len(rec.Batches), t.Name, lt.Current().NumRows())
+			}
+			if rec.TornTail {
+				fmt.Printf("serve: truncated a torn WAL tail for %q (%d bytes of an uncommitted append)\n",
+					t.Name, rec.TornBytes)
+			}
+			srv.HostLive(lt, rec)
+		}
+	}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -158,5 +158,9 @@ func AssignRoles(t *Table, dims, measures []string) error {
 	if err := set(dims, RoleDimension); err != nil {
 		return err
 	}
-	return set(measures, RoleMeasure)
+	if err := set(measures, RoleMeasure); err != nil {
+		return err
+	}
+	t.version++ // roles are part of the content fingerprint
+	return nil
 }

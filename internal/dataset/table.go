@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Table is an in-memory columnar table. The zero value is unusable; build
@@ -14,6 +15,15 @@ type Table struct {
 	Schema *Schema
 	Cols   []*Column
 	rows   int
+
+	// version counts content mutations (appends, seals, role changes).
+	// Fingerprint caches key on it via MemoHash, so an unchanged table is
+	// hashed once, not once per lookup.
+	version uint64
+
+	hashMu  sync.Mutex
+	hash    []byte
+	hashVer uint64
 }
 
 // NewTable allocates an empty table for the schema.
@@ -48,7 +58,53 @@ func (t *Table) AppendRow(vals ...Value) error {
 		}
 	}
 	t.rows++
+	t.version++
 	return nil
+}
+
+// Version returns the table's mutation counter. It increases on every
+// content change (AppendRow, sealRows, AssignRoles) and is what MemoHash
+// keys its cache on. Not safe against concurrent mutation — like the
+// mutators themselves.
+func (t *Table) Version() uint64 { return t.version }
+
+// MemoHash returns the table's content hash for its current version,
+// calling compute only on a miss and caching the result until the next
+// mutation. The hash function itself lives in the store layer (it owns the
+// fingerprint byte stream); the memo lives here because only the table
+// knows when its contents changed. Safe for concurrent use; compute runs
+// under the memo lock, so concurrent lookups hash at most once.
+func (t *Table) MemoHash(compute func() []byte) []byte {
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	if t.hash != nil && t.hashVer == t.version {
+		return t.hash
+	}
+	t.hash = compute()
+	t.hashVer = t.version
+	return t.hash
+}
+
+// WithAppended returns a new table holding the receiver's rows plus the
+// given rows, leaving the receiver untouched — the copy-on-append MVCC
+// step behind live tables. Readers of the old version keep a consistent
+// snapshot: the clone clamps the shared backing slices to their length (so
+// its first append reallocates rather than scribbling into shared arrays)
+// and copies the null bitmaps outright (bit sets mutate words in place).
+// On any row error the receiver is still untouched and the partial clone
+// is discarded.
+func (t *Table) WithAppended(rows [][]Value) (*Table, error) {
+	out := &Table{Name: t.Name, Schema: t.Schema, rows: t.rows}
+	out.Cols = make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		out.Cols[i] = c.cloneForAppend()
+	}
+	for _, r := range rows {
+		if err := out.AppendRow(r...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // MustAppendRow is AppendRow that panics on error, for generators whose
@@ -75,6 +131,7 @@ func (t *Table) sealRows() error {
 		n = 0
 	}
 	t.rows = n
+	t.version++
 	return nil
 }
 
@@ -99,6 +156,29 @@ func (t *Table) Subset(name string, rows []int) *Table {
 		out.MustAppendRow(vals...)
 	}
 	return out
+}
+
+// IsPrefixOf reports whether u extends t row-for-row: same schema shape
+// and u's first NumRows() rows bit-identical to t's (floats compared by
+// bits, so NaNs match themselves; NULL positions included). The
+// incremental-maintenance layer uses it to verify that re-running an
+// exploration query over an appended table only appended result rows —
+// the precondition for extending the target's cached scans.
+func (t *Table) IsPrefixOf(u *Table) bool {
+	n := t.rows
+	if u.rows < n || len(t.Cols) != len(u.Cols) {
+		return false
+	}
+	for i, c := range t.Cols {
+		d := u.Cols[i]
+		if c.Def != d.Def {
+			return false
+		}
+		if !c.prefixEqual(d, n) {
+			return false
+		}
+	}
+	return true
 }
 
 // DistinctValues returns the sorted distinct group keys of the named

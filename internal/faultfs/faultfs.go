@@ -29,6 +29,10 @@ type FS interface {
 	Remove(name string) error
 	// MkdirAll creates a directory tree.
 	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts the named file to size bytes (WAL torn-tail repair).
+	// An open append-mode handle keeps working: its next write lands at
+	// the new end.
+	Truncate(name string, size int64) error
 }
 
 // OS is the passthrough FS backed by package os.
@@ -42,6 +46,7 @@ func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(d
 func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (OS) Remove(name string) error                     { return os.Remove(name) }
 func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
 
 // Faulty wraps an FS and injects write-path faults on the files it opens.
 // Faults apply to Write and Sync calls (where real disks surface ENOSPC
@@ -173,6 +178,7 @@ func (f *Faulty) Remove(name string) error             { return f.inner.Remove(n
 func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
 	return f.inner.MkdirAll(path, perm)
 }
+func (f *Faulty) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
 
 // faultyFile consults its FS's fault configuration on every write.
 type faultyFile struct {

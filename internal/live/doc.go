@@ -1,0 +1,24 @@
+// Package live turns the immutable dataset.Table into a durable,
+// versioned, appendable one: a base snapshot plus a redo-log WAL
+// (internal/wal) of append batches, published as a chain of immutable
+// table versions via copy-on-append (dataset.Table.WithAppended).
+//
+// Contracts:
+//
+//   - Durability before visibility: a batch is WAL-committed before the
+//     new version is published, so any observable version is recoverable.
+//     A crash mid-append loses at most the in-flight batch; recovery
+//     (Open) replays the committed log over the base and lands exactly on
+//     the last committed batch, with no partial rows — batches are atomic
+//     (one WAL record, one copy-on-append step).
+//   - MVCC reads: Current returns an immutable version; concurrent
+//     appends publish new versions and never mutate published ones, so
+//     sessions and scans are race-free without coordination.
+//   - O(1) version identity: VersionRef = base content hash + WAL
+//     sequence number (store.VersionedRef). The offline cache addresses
+//     entries by it, so appends mint new addresses instead of forcing
+//     whole-table re-hashing, and ancestor versions' entries survive.
+//
+// Observability follows the DESIGN.md §11 schema: appended-rows counter,
+// last-sequence gauge, plus the wal package's fsync/recovery series.
+package live

@@ -1,0 +1,152 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/faultfs"
+	"viewseeker/internal/obs"
+	"viewseeker/internal/store"
+	"viewseeker/internal/wal"
+)
+
+// Table is a WAL-backed mutable table: a base snapshot plus a redo log of
+// append batches. Every append first commits to the log, then publishes a
+// new immutable table version (dataset.Table.WithAppended), so readers —
+// recommendation sessions, scans in flight — keep the exact version they
+// started with while new work sees the appended data. Versions are
+// addressed by VersionRef: the base content hash plus the WAL sequence
+// number, a monotone O(1) identity that lets offline-cache entries survive
+// appends as ancestors instead of being invalidated wholesale.
+type Table struct {
+	mu   sync.Mutex
+	base *dataset.Table
+	cur  *dataset.Table
+	w    *wal.WAL
+	seq  uint64
+
+	mAppendRows *obs.Counter
+	mVersions   *obs.Gauge
+}
+
+// Open opens (creating if needed) the WAL at path and replays its
+// committed batches over base, returning the live table at its last
+// committed version. base must be the same snapshot the log was started
+// against — the WAL stores row deltas, not contents, so replaying against
+// a different base silently builds a different table. A torn tail from a
+// crash mid-append is truncated by the WAL layer; the table comes back at
+// the last fully committed batch with no partial rows (batches commit
+// atomically: one WAL record, one WithAppended).
+//
+// fs is the filesystem (nil selects the OS); tests inject faultfs.Faulty.
+// The returned Recovery reports what replay found.
+func Open(fs faultfs.FS, path string, base *dataset.Table, opts wal.Options) (*Table, *wal.Recovery, error) {
+	if base == nil {
+		return nil, nil, fmt.Errorf("live: nil base table")
+	}
+	w, rec, err := wal.Open(fs, path, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur := base
+	for _, b := range rec.Batches {
+		next, err := cur.WithAppended(b.Rows)
+		if err != nil {
+			w.Close()
+			return nil, nil, fmt.Errorf("live: replaying batch %d: %w", b.Seq, err)
+		}
+		cur = next
+	}
+	return &Table{base: base, cur: cur, w: w, seq: rec.LastSeq}, rec, nil
+}
+
+// Instrument registers the live-table metrics (and the underlying WAL's)
+// against reg, and feeds rec — when non-nil — into the recovery counters.
+func (t *Table) Instrument(reg *obs.Registry, rec *wal.Recovery) {
+	t.w.Instrument(reg)
+	if rec != nil {
+		t.w.RecordRecovery(rec)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mAppendRows = reg.Counter("viewseeker_live_appended_rows_total")
+	t.mVersions = reg.Gauge("viewseeker_live_last_seq")
+	t.mVersions.Set(int64(t.seq))
+}
+
+// Append durably commits one batch of rows and publishes the new table
+// version, returning the batch's WAL sequence number. The batch is
+// validated and materialised first (a bad row changes nothing anywhere),
+// logged second, and only then made visible — so a version is never
+// observable before it is recoverable. A non-nil error with seq != 0
+// means the batch committed but its fsync failed (durability is behind;
+// the next sync retries): the version is still published.
+func (t *Table) Append(rows [][]dataset.Value) (uint64, error) {
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("live: empty append batch")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next, err := t.cur.WithAppended(rows)
+	if err != nil {
+		return 0, fmt.Errorf("live: %w", err)
+	}
+	seq, werr := t.w.Append(rows)
+	if seq == 0 {
+		return 0, werr
+	}
+	t.cur = next
+	t.seq = seq
+	t.mAppendRows.Add(int64(len(rows)))
+	t.mVersions.Set(int64(seq))
+	return seq, werr
+}
+
+// Current returns the latest published table version. The returned table
+// is immutable — later appends publish new versions instead of mutating
+// it — so callers may scan it unsynchronised for as long as they like.
+func (t *Table) Current() *dataset.Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+// Snapshot returns the latest published version together with its WAL
+// sequence number, read atomically — Current and Seq taken separately can
+// straddle a concurrent append.
+func (t *Table) Snapshot() (*dataset.Table, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur, t.seq
+}
+
+// Base returns the snapshot the WAL replays against.
+func (t *Table) Base() *dataset.Table { return t.base }
+
+// Seq returns the last committed WAL sequence number (0 = base only).
+func (t *Table) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// VersionRef returns the cache address of the current version: the base
+// table's content hash extended with the WAL sequence number
+// (store.VersionedRef). Computing it is O(1) after the first call — the
+// base hash is memoized on the table — which is the whole point: the
+// append path never re-hashes table contents.
+func (t *Table) VersionRef() string {
+	t.mu.Lock()
+	seq := t.seq
+	base := t.base
+	t.mu.Unlock()
+	return store.VersionedRef(store.HashTable(base), seq)
+}
+
+// Sync flushes the WAL to stable storage.
+func (t *Table) Sync() error { return t.w.Sync() }
+
+// Close syncs and closes the WAL. The current version stays readable;
+// further appends fail.
+func (t *Table) Close() error { return t.w.Close() }

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+
+	"viewseeker"
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/obs"
+)
+
+// HostLive registers a WAL-backed appendable table under its name. Its
+// current version is served exactly like a static table — sessions build
+// against the version current at creation and keep it — and POST
+// /api/tables/{name}/append grows it. rec, when non-nil, feeds the WAL
+// recovery counters exported at /metricz.
+func (s *Server) HostLive(lt *viewseeker.LiveTable, rec *viewseeker.LiveRecovery) {
+	cur := lt.Current()
+	lt.Instrument(s.metrics, rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live[cur.Name] = lt
+	s.tables[cur.Name] = cur
+	// Live tables are addressed by version ref (base hash + WAL sequence):
+	// an append mints a new address in O(1) instead of rehashing contents,
+	// and cache entries of earlier versions survive as ancestors.
+	s.tableHash[cur.Name] = lt.VersionRef()
+}
+
+// liveStatus is one live table's WAL state in GET /healthz.
+type liveStatus struct {
+	Table string `json:"table"`
+	// Seq is the last committed WAL sequence number (0 = base only).
+	Seq uint64 `json:"seq"`
+	// Rows is the current version's row count.
+	Rows int `json:"rows"`
+}
+
+// liveStatuses snapshots every hosted live table's state, sorted by name.
+func (s *Server) liveStatuses() []liveStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]liveStatus, 0, len(s.live))
+	for name, lt := range s.live {
+		cur, seq := lt.Snapshot()
+		out = append(out, liveStatus{Table: name, Seq: seq, Rows: cur.NumRows()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// appendRequest is the POST /api/tables/{name}/append body: rows in schema
+// column order, JSON-typed (numbers for int/float columns — int cells must
+// be integral —, strings, bools, null for SQL NULL).
+type appendRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// appendResponse reports the committed batch. Synced is false when the
+// batch committed but its fsync failed — durability is one sync behind;
+// the server keeps serving and the next append or shutdown retries.
+type appendResponse struct {
+	Seq     uint64 `json:"seq"`
+	Rows    int    `json:"rows"`
+	Version string `json:"version"`
+	Synced  bool   `json:"synced"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	_, span := obs.StartSpan(r.Context(), "append")
+	defer span.End()
+	name := r.PathValue("name")
+	s.mu.Lock()
+	lt := s.live[name]
+	s.mu.Unlock()
+	if lt == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no live table %q", name))
+		return
+	}
+	var req appendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty append batch"))
+		return
+	}
+	rows, err := decodeRows(lt.Current().Schema, req.Rows)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, aerr := lt.Append(rows)
+	if seq == 0 {
+		// Nothing committed: the WAL write failed outright.
+		writeError(w, http.StatusInternalServerError, aerr)
+		return
+	}
+	if aerr != nil {
+		s.log.Error("append fsync lagging", "table", name, "seq", seq, "err", aerr)
+	}
+	s.mu.Lock()
+	s.tables[name] = lt.Current()
+	s.tableHash[name] = lt.VersionRef()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, appendResponse{
+		Seq: seq, Rows: len(rows), Version: lt.VersionRef(), Synced: aerr == nil,
+	})
+}
+
+// decodeRows converts JSON cells to typed values per the schema, rejecting
+// shape and type mismatches with the row/column they occur at.
+func decodeRows(schema *dataset.Schema, in [][]any) ([][]dataset.Value, error) {
+	out := make([][]dataset.Value, len(in))
+	for i, row := range in {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("row %d has %d values, schema has %d columns", i, len(row), schema.Len())
+		}
+		vals := make([]dataset.Value, len(row))
+		for j, cell := range row {
+			v, err := decodeCell(schema.Columns[j], cell)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %q: %w", i, schema.Columns[j].Name, err)
+			}
+			vals[j] = v
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+func decodeCell(def dataset.ColumnDef, cell any) (dataset.Value, error) {
+	if cell == nil {
+		return dataset.Null, nil
+	}
+	switch def.Kind {
+	case dataset.KindInt:
+		f, ok := cell.(float64)
+		if !ok || f != math.Trunc(f) || math.IsInf(f, 0) {
+			return dataset.Value{}, fmt.Errorf("want an integer, got %v", cell)
+		}
+		return dataset.Int(int64(f)), nil
+	case dataset.KindFloat:
+		f, ok := cell.(float64)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("want a number, got %v", cell)
+		}
+		return dataset.Float(f), nil
+	case dataset.KindString:
+		s, ok := cell.(string)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("want a string, got %v", cell)
+		}
+		return dataset.StringVal(s), nil
+	case dataset.KindBool:
+		b, ok := cell.(bool)
+		if !ok {
+			return dataset.Value{}, fmt.Errorf("want a bool, got %v", cell)
+		}
+		return dataset.Bool(b), nil
+	default:
+		return dataset.Value{}, fmt.Errorf("column has invalid kind")
+	}
+}

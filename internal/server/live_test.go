@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/live"
+	"viewseeker/internal/wal"
+)
+
+// liveTestServer hosts a SYN live table and returns the raw server too,
+// so tests can reach its metrics registry.
+func liveTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	table := dataset.GenerateSYN(dataset.SYNConfig{Rows: 2000, Seed: 9})
+	lt, rec, err := live.Open(nil, filepath.Join(t.TempDir(), "syn.wal"), table, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lt.Close() })
+	srv := New()
+	srv.HostLive(lt, rec)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// synJSONRows builds valid append rows for SYN's schema (d1..d4 floats,
+// m1..m4 floats — every column numeric).
+func synJSONRows(n int) [][]any {
+	table := dataset.GenerateSYN(dataset.SYNConfig{Rows: 1, Seed: 9})
+	out := make([][]any, n)
+	for i := range out {
+		row := make([]any, table.Schema.Len())
+		for j := range row {
+			row[j] = 0.01 * float64(i+j)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	ts, srv := liveTestServer(t)
+
+	var resp appendResponse
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/append", map[string]any{"rows": synJSONRows(5)},
+		http.StatusOK, &resp)
+	if resp.Seq != 1 || resp.Rows != 5 || !resp.Synced {
+		t.Fatalf("append response %+v", resp)
+	}
+	if !strings.Contains(resp.Version, "@1") {
+		t.Fatalf("version ref %q does not carry the sequence", resp.Version)
+	}
+
+	// The hosted table advanced: table listing reflects the new rows and
+	// new sessions build over them.
+	var tables []tableInfo
+	doJSON(t, "GET", ts.URL+"/api/tables", nil, http.StatusOK, &tables)
+	if len(tables) != 1 || tables[0].Rows != 2005 {
+		t.Fatalf("tables after append = %+v", tables)
+	}
+	var sess sessionInfo
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"table": "syn", "query": dataset.SYNQuery, "k": 3},
+		http.StatusCreated, &sess)
+	if sess.NumViews == 0 {
+		t.Fatal("session over the appended table has no views")
+	}
+
+	// Health surfaces the WAL state; metrics carry the wal series.
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if len(health.Live) != 1 || health.Live[0].Seq != 1 || health.Live[0].Rows != 2005 {
+		t.Fatalf("healthz live = %+v", health.Live)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["viewseeker_wal_appends_total"] != 1 {
+		t.Fatalf("wal appends metric = %v", snap["viewseeker_wal_appends_total"])
+	}
+	if snap["viewseeker_live_appended_rows_total"] != 5 {
+		t.Fatalf("live appended rows metric = %v", snap["viewseeker_live_appended_rows_total"])
+	}
+}
+
+func TestAppendEndpointRejectsBadRows(t *testing.T) {
+	ts, _ := liveTestServer(t)
+	url := ts.URL + "/api/tables/syn/append"
+	// Wrong arity.
+	doJSON(t, "POST", url, map[string]any{"rows": [][]any{{0.1}}}, http.StatusBadRequest, nil)
+	// Wrong type (string in a float column).
+	bad := synJSONRows(1)
+	bad[0][0] = "not a number"
+	doJSON(t, "POST", url, map[string]any{"rows": bad}, http.StatusBadRequest, nil)
+	// Empty batch.
+	doJSON(t, "POST", url, map[string]any{"rows": [][]any{}}, http.StatusBadRequest, nil)
+	// Unknown table.
+	doJSON(t, "POST", ts.URL+"/api/tables/nope/append", map[string]any{"rows": synJSONRows(1)},
+		http.StatusNotFound, nil)
+
+	// Nothing leaked into the hosted table.
+	var tables []tableInfo
+	doJSON(t, "GET", ts.URL+"/api/tables", nil, http.StatusOK, &tables)
+	if tables[0].Rows != 2000 {
+		t.Fatalf("rejected appends changed the table: %d rows", tables[0].Rows)
+	}
+}
+
+// TestAppendDoesNotDisturbSessions pins the MVCC contract at the API
+// level: a session created before an append keeps answering over the
+// version it was built on.
+func TestAppendDoesNotDisturbSessions(t *testing.T) {
+	ts, _ := liveTestServer(t)
+	var sess sessionInfo
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"table": "syn", "query": dataset.SYNQuery, "k": 3},
+		http.StatusCreated, &sess)
+	before := sess.TargetRows
+
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/append",
+		map[string]any{"rows": synJSONRows(50)}, http.StatusOK, nil)
+
+	var after sessionInfo
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+sess.ID, nil, http.StatusOK, &after)
+	if after.TargetRows != before {
+		t.Fatalf("session target grew from %d to %d after an append", before, after.TargetRows)
+	}
+	var next nextResponse
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+sess.ID+"/next", nil, http.StatusOK, &next)
+	if next.Done {
+		t.Fatal("session broke after append")
+	}
+}

@@ -71,6 +71,7 @@ const defaultMaxBodyBytes = 1 << 20
 type Server struct {
 	mu       sync.Mutex
 	tables   map[string]*viewseeker.Table
+	live     map[string]*viewseeker.LiveTable
 	sessions map[string]*session
 
 	// tableHash caches each hosted table's content hash: tables are fixed
@@ -105,6 +106,7 @@ func New(tables ...*viewseeker.Table) *Server {
 func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s := &Server{
 		tables:     make(map[string]*viewseeker.Table),
+		live:       make(map[string]*viewseeker.LiveTable),
 		sessions:   make(map[string]*session),
 		tableHash:  make(map[string]string),
 		cache:      opts.Cache,
@@ -212,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /metricz", s.handleMetricz)
 	handle("GET /debug/vars", s.handleVars)
 	handle("GET /api/tables", s.handleTables)
+	handle("POST /api/tables/{name}/append", s.handleAppend)
 	handle("POST /api/sessions", s.handleCreateSession)
 	handle("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
 	handle("GET /api/sessions/{id}/next", s.withSession(s.handleNext))
@@ -365,6 +368,10 @@ type healthResponse struct {
 	Journal  healthComponent `json:"journal"`
 	Cache    healthComponent `json:"cache"`
 	Sessions int             `json:"sessions"`
+	// Live lists each hosted live table's WAL state (omitted when none are
+	// hosted); the fsync latency histogram and recovery counters live on
+	// /metricz under the viewseeker_wal_* series.
+	Live []liveStatus `json:"live,omitempty"`
 }
 
 // Degraded reports whether any configured durability component is
@@ -385,6 +392,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Journal:  healthComponent{Enabled: s.journal != nil},
 		Cache:    healthComponent{Enabled: s.cache.DiskBacked()},
 		Sessions: sessions,
+		Live:     s.liveStatuses(),
 	}
 	if s.journal != nil {
 		resp.Journal.Degraded = s.journal.Degraded()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"strconv"
 
 	"viewseeker/internal/dataset"
 )
@@ -67,10 +68,17 @@ func (w *hashWriter) sum() string {
 // kinds, roles) plus every cell value including NULL positions. The table
 // name is deliberately excluded — two identically shaped tables with equal
 // contents enumerate the same view space and produce the same feature
-// matrix, so they share cache entries. Hashing is a single pass over the
-// typed column slices: orders of magnitude cheaper than the offline
-// feature pass it lets a caller skip.
+// matrix, so they share cache entries. The hash is memoized on the table
+// and invalidated by its version counter, so repeated lookups against an
+// unchanged table hash once; the full pass over the typed column slices
+// runs only after a mutation.
 func HashTable(t *dataset.Table) string {
+	return string(t.MemoHash(func() []byte {
+		return []byte(hashTableContents(t))
+	}))
+}
+
+func hashTableContents(t *dataset.Table) string {
 	w := newHashWriter()
 	w.u64(uint64(t.NumRows()))
 	w.u64(uint64(len(t.Cols)))
@@ -110,6 +118,21 @@ func HashTable(t *dataset.Table) string {
 		}
 	}
 	return w.sum()
+}
+
+// VersionedRef addresses one version of a live table: the base table's
+// content hash plus the WAL sequence number of the last applied batch.
+// It replaces whole-content re-hashing on the append path — the version
+// chain hash@1, hash@2, … is monotone, so each append mints a new cache
+// address in O(1) while every earlier version's entries survive as
+// ancestors (a rolled-back or replayed table re-addresses them for free).
+// Sequence 0 is the base itself and returns the hash unchanged, keeping
+// pre-append cache entries reachable.
+func VersionedRef(baseHash string, seq uint64) string {
+	if seq == 0 {
+		return baseHash
+	}
+	return baseHash + "@" + strconv.FormatUint(seq, 10)
 }
 
 // Key identifies one offline-phase computation: the inputs that fully

@@ -49,6 +49,48 @@ func (c *lazyCache[K, V]) get(k K, compute func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
+// seed stores a ready value for k, as if a compute had already completed
+// successfully. The incremental-maintenance path uses it to pre-fill a new
+// generator's caches with delta-extended artifacts; an existing entry for
+// k is left untouched (the first result, computed or seeded, wins — the
+// same rule get applies).
+func (c *lazyCache[K, V]) seed(k K, v V) {
+	e := &lazyEntry[V]{ready: make(chan struct{}), val: v}
+	close(e.ready)
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*lazyEntry[V])
+	}
+	if _, ok := c.entries[k]; !ok {
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+}
+
+// snapshot returns every successfully completed entry, without blocking on
+// in-flight computes (they are simply not included).
+func (c *lazyCache[K, V]) snapshot() map[K]V {
+	c.mu.Lock()
+	entries := make([]*lazyEntry[V], 0, len(c.entries))
+	keys := make([]K, 0, len(c.entries))
+	for k, e := range c.entries {
+		keys = append(keys, k)
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	out := make(map[K]V, len(keys))
+	for i, e := range entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out[keys[i]] = e.val
+			}
+		default:
+		}
+	}
+	return out
+}
+
 // peek returns the value for k only if a computation for it has already
 // completed successfully; it never blocks and never triggers a compute.
 func (c *lazyCache[K, V]) peek(k K) (V, bool) {

@@ -1,0 +1,256 @@
+package view
+
+import (
+	"fmt"
+	"math"
+
+	"viewseeker/internal/dataset"
+)
+
+// This file is the incremental-maintenance (IVM) side of the scan layer:
+// given the cached artifacts of a table and a longer table that extends it
+// row-for-row, the Extend kernels produce the longer table's artifacts by
+// processing only the appended suffix. Bit-identity with a from-scratch
+// recompute is the load-bearing contract — cached offline results must be
+// indistinguishable from freshly computed ones — and it holds because:
+//
+//   - bin layouts are pinned to the base reference data, so a row's bin is
+//     a pure per-row function: extending the index row by row matches a
+//     full re-index under the same layout exactly;
+//   - the flat Stats accumulators are updated per (measure, bin) slot in
+//     ascending row order, so continuing from the base accumulators
+//     replays the identical sequence of floating-point operations a full
+//     scan would perform — non-associativity never gets a chance to bite;
+//   - the variance shift is a full-column property (first non-null).
+//     Appends cannot change it unless the base column was all-null, which
+//     ExtendStats detects and reports so the caller falls back to a full
+//     recompute for that layout.
+//
+// The property test in extend_test.go holds append-then-extend and
+// rebuild-from-scratch bit-identical over randomised tables and appends.
+
+// ExtendBinIndexAll extends cached bin indexes to cover an appended table:
+// t must extend the indexes' original table row-for-row, old must be a
+// BinIndexAll result over the same layouts (all on one dimension), and
+// from is the original row count (= len of each old index). Rows below
+// from are copied; rows from..NumRows-1 are binned fresh. The result is
+// exactly BinIndexAll(t, layouts) — appended values that fall outside a
+// pinned layout (new categoricals, out-of-range numerics) map to bin -1,
+// same as a full re-index under that layout.
+func ExtendBinIndexAll(t *dataset.Table, layouts []*BinLayout, old [][]int32, from int) ([][]int32, error) {
+	if len(layouts) == 0 {
+		return nil, nil
+	}
+	if len(old) != len(layouts) {
+		return nil, fmt.Errorf("view: extending %d bin indexes with %d layouts", len(old), len(layouts))
+	}
+	dim := layouts[0].Dimension
+	for _, l := range layouts[1:] {
+		if l.Dimension != dim {
+			return nil, fmt.Errorf("view: ExtendBinIndexAll layouts mix dimensions %q and %q", dim, l.Dimension)
+		}
+	}
+	n := t.NumRows()
+	if from > n {
+		return nil, fmt.Errorf("view: bin index covers %d rows but table has %d", from, n)
+	}
+	for i, o := range old {
+		if len(o) != from {
+			return nil, fmt.Errorf("view: bin index %d has %d entries, want %d", i, len(o), from)
+		}
+	}
+	col := t.Column(dim)
+	if col == nil {
+		return nil, fmt.Errorf("view: table has no column %q", dim)
+	}
+	out := make([][]int32, len(layouts))
+	for i := range out {
+		out[i] = make([]int32, n)
+		copy(out[i], old[i])
+	}
+	for r := from; r < n; r++ {
+		for i, l := range layouts {
+			out[i][r] = int32(l.BinOf(col, r))
+		}
+	}
+	return out, nil
+}
+
+// ExtendStats extends full-data group statistics to cover an appended
+// table: t extends the stats' original table row-for-row, old is a
+// full-scan Stats under a pinned layout (never a sampled one — partial
+// accumulators cannot be extended), bins is the full bin index of t under
+// that layout, and from is the original row count. The appended rows are
+// accumulated on top of a copy of old, continuing each slot's addition
+// sequence exactly where the base scan left it.
+//
+// ok is false — with a nil Stats — when a measure's variance shift
+// changed: the base column was all-null and an append introduced the first
+// non-null value, re-anchoring SumSqs. The caller must then recompute that
+// layout from scratch (the only case where a delta cannot reproduce the
+// full scan bit-for-bit).
+func ExtendStats(t *dataset.Table, old *Stats, bins []int32, from int) (s *Stats, ok bool, err error) {
+	n := t.NumRows()
+	if len(bins) != n {
+		return nil, false, fmt.Errorf("view: bin index has %d entries for %d rows", len(bins), n)
+	}
+	if from > n {
+		return nil, false, fmt.Errorf("view: stats cover %d rows but table has %d", from, n)
+	}
+	mCols := make([]*dataset.Column, len(old.Measures))
+	for m, name := range old.Measures {
+		mCols[m] = t.Column(name)
+		if mCols[m] == nil {
+			return nil, false, fmt.Errorf("view: table has no measure %q", name)
+		}
+		// Bit-compare: a NaN shift must not force a rebuild per append.
+		if math.Float64bits(measureShift(mCols[m])) != math.Float64bits(old.Shifts[m]) {
+			return nil, false, nil
+		}
+	}
+	s = old.clone()
+	if from == n {
+		return s, true, nil
+	}
+	rows := make([]int, n-from)
+	for i := range rows {
+		rows[i] = from + i
+	}
+	nb := s.Layout.NumBins()
+	for m, col := range mCols {
+		vals, nulls, numOK := col.NumericView()
+		if !numOK {
+			continue // non-numeric measure: full scans skip it too
+		}
+		base := m * nb
+		accumulateColumn(s.Counts[base:base+nb], s.Sums[base:base+nb],
+			s.SumSqs[base:base+nb], s.Mins[base:base+nb], s.Maxs[base:base+nb],
+			vals, nulls, rows, bins, s.Shifts[m])
+	}
+	return s, true, nil
+}
+
+// clone deep-copies the accumulator arrays; layout, measure names and
+// shifts are immutable and shared.
+func (s *Stats) clone() *Stats {
+	dup := func(v []float64) []float64 { return append(make([]float64, 0, len(v)), v...) }
+	return &Stats{
+		Layout: s.Layout, Measures: s.Measures, Shifts: s.Shifts,
+		Counts: dup(s.Counts), Sums: dup(s.Sums), SumSqs: dup(s.SumSqs),
+		Mins: dup(s.Mins), Maxs: dup(s.Maxs),
+	}
+}
+
+// ApplyAppend returns a new generator over the appended table versions,
+// with every cached artifact of g delta-extended instead of recomputed: a
+// subsequent feature pass warms instantly and pays only per-view vector
+// assembly. g itself is untouched — sessions holding it keep a consistent
+// snapshot (the MVCC discipline of the live-table layer).
+//
+// Contract: newRef extends g.Ref row-for-row and newTarget extends
+// g.Target row-for-row (the live layer verifies target prefix-extension
+// before calling and falls back to a fresh generator otherwise). Layouts
+// stay pinned to the base reference — appended values outside them drop to
+// bin -1 — so downstream results are exactly what a from-scratch pass over
+// the new tables with the same layouts would produce, bit for bit.
+func (g *Generator) ApplyAppend(newRef, newTarget *dataset.Table) (*Generator, error) {
+	if newRef.NumRows() < g.Ref.NumRows() {
+		return nil, fmt.Errorf("view: new reference has %d rows, fewer than the base %d", newRef.NumRows(), g.Ref.NumRows())
+	}
+	if newTarget.NumRows() < g.Target.NumRows() {
+		return nil, fmt.Errorf("view: new target has %d rows, fewer than the base %d", newTarget.NumRows(), g.Target.NumRows())
+	}
+	ng := &Generator{
+		Ref: newRef, Target: newTarget, cfg: g.cfg, specs: g.specs,
+		layouts: g.layouts, dimLayouts: g.dimLayouts,
+	}
+	if err := g.extendSide(ng, sideRef, newRef, g.Ref.NumRows()); err != nil {
+		return nil, err
+	}
+	if err := g.extendSide(ng, sideTarget, newTarget, g.Target.NumRows()); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}
+
+type side int
+
+const (
+	sideRef side = iota
+	sideTarget
+)
+
+// extendSide delta-extends one table side's caches (bin bundles, layout
+// stats, focused stats) from g into ng.
+func (g *Generator) extendSide(ng *Generator, sd side, newT *dataset.Table, from int) error {
+	oldBins, newBins := &g.refBins, &ng.refBins
+	oldStats, newStats := &g.refStats, &ng.refStats
+	oldFocused, newFocused := &g.refFocused, &ng.refFocused
+	if sd == sideTarget {
+		oldBins, newBins = &g.tgtBins, &ng.tgtBins
+		oldStats, newStats = &g.tgtStats, &ng.tgtStats
+		oldFocused, newFocused = &g.tgtFocused, &ng.tgtFocused
+	}
+	extended := make(map[string][][]int32)
+	for dim, old := range oldBins.snapshot() {
+		keys := g.dimLayouts[dim]
+		layouts := make([]*BinLayout, len(keys))
+		for i, k := range keys {
+			layouts[i] = g.layouts[k]
+		}
+		bundle, err := ExtendBinIndexAll(newT, layouts, old, from)
+		if err != nil {
+			return err
+		}
+		newBins.seed(dim, bundle)
+		extended[dim] = bundle
+	}
+	binOf := func(k layoutKey) ([]int32, error) {
+		if bundle, ok := extended[k.dim]; ok {
+			for i, kk := range g.dimLayouts[k.dim] {
+				if kk == k {
+					return bundle[i], nil
+				}
+			}
+		}
+		// Stats were cached without their bin bundle surviving (should not
+		// happen — statsFor builds bins first — but recompute rather than
+		// fail).
+		return ng.binsFor(newT, newBins, k)
+	}
+	for k, st := range oldStats.snapshot() {
+		bins, err := binOf(k)
+		if err != nil {
+			return err
+		}
+		ns, ok, err := ExtendStats(newT, st, bins, from)
+		if err != nil {
+			return err
+		}
+		if !ok { // shift drift: rebuild this layout from scratch
+			ns, err = CollectStatsIndexed(newT, g.layouts[k], st.Measures, bins)
+			if err != nil {
+				return err
+			}
+		}
+		newStats.seed(k, ns)
+	}
+	for mk, st := range oldFocused.snapshot() {
+		bins, err := binOf(mk.layoutKey)
+		if err != nil {
+			return err
+		}
+		ns, ok, err := ExtendStats(newT, st, bins, from)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			ns, err = CollectStatsIndexed(newT, g.layouts[mk.layoutKey], st.Measures, bins)
+			if err != nil {
+				return err
+			}
+		}
+		newFocused.seed(mk, ns)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewseeker/internal/dataset"
+)
+
+// splitKernelTable generates one kernel-path-covering table and splits it
+// into a base prefix plus the suffix as append batches: the appended table
+// is content-identical to the full one, so full-table scans of it are the
+// rebuild-from-scratch oracle for the extend kernels.
+func splitKernelTable(t *testing.T, rng *rand.Rand) (base, appended, full *dataset.Table, from int) {
+	t.Helper()
+	n := 150 + rng.Intn(150)
+	from = 50 + rng.Intn(n-100)
+	full = kernelTable(rng, n)
+	idx := make([]int, from)
+	for i := range idx {
+		idx[i] = i
+	}
+	base = full.Subset(full.Name, idx)
+	rows := make([][]dataset.Value, 0, n-from)
+	for r := from; r < n; r++ {
+		rows = append(rows, full.Row(r))
+	}
+	appended, err := base.WithAppended(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, appended, full, from
+}
+
+// TestExtendMatchesRebuild is the IVM property test: over randomised
+// tables and split points, append-then-extend must equal rebuild-from-
+// scratch bit for bit — bin indexes entry-for-entry, Stats across every
+// accumulator array — with CollectStatsReference over the post-append
+// table as the oracle. Layouts are pinned to the base prefix, so appended
+// values outside them (range escapes, new categoricals) exercise the
+// bin -1 drop path on both sides.
+func TestExtendMatchesRebuild(t *testing.T) {
+	measures := []string{"m1", "m2", "mconst", "mbool"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base, appended, _, from := splitKernelTable(t, rng)
+		for _, layout := range kernelLayouts(t, base) {
+			oldBins, err := BinIndex(base, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ext, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullBins, err := BinIndex(appended, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, want := range fullBins {
+				if ext[0][r] != want {
+					t.Fatalf("dim %q row %d: extended bin %d != rebuilt %d",
+						layout.Dimension, r, ext[0][r], want)
+				}
+			}
+
+			oldStats, err := CollectStatsIndexed(base, layout, measures, oldBins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extStats, ok, err := ExtendStats(appended, oldStats, ext[0], from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("dim %q: shift drift on a base with non-null measures", layout.Dimension)
+			}
+			rebuilt, err := CollectStatsIndexed(appended, layout, measures, fullBins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := statsEqual(extStats, rebuilt); err != nil {
+				t.Fatalf("dim %q: extend vs rebuild: %v", layout.Dimension, err)
+			}
+			oracle, err := CollectStatsReference(appended, layout, measures, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := statsEqual(extStats, oracle); err != nil {
+				t.Fatalf("dim %q: extend vs reference oracle: %v", layout.Dimension, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendStatsShiftDrift: a measure that is all-null in the base gets
+// its variance shift from the first appended non-null, which re-anchors
+// SumSqs — ExtendStats must refuse so the caller rebuilds.
+func TestExtendStatsShiftDrift(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "cat", Kind: dataset.KindString, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	base := dataset.NewTable("t", schema)
+	base.MustAppendRow(dataset.StringVal("a"), dataset.Null)
+	base.MustAppendRow(dataset.StringVal("b"), dataset.Null)
+	layout, err := ComputeLayout(base, "cat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBins, err := BinIndex(base, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStats, err := CollectStatsIndexed(base, layout, []string{"m"}, oldBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := base.WithAppended([][]dataset.Value{{dataset.StringVal("a"), dataset.Float(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ExtendStats(appended, oldStats, ext[0], 2); err != nil || ok {
+		t.Fatalf("shift drift not detected: ok=%v err=%v", ok, err)
+	}
+	// An all-null append over the all-null base keeps shift 0: extendable.
+	appended2, err := base.WithAppended([][]dataset.Value{{dataset.StringVal("a"), dataset.Null}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := ExtendBinIndexAll(appended2, []*BinLayout{layout}, [][]int32{oldBins}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ExtendStats(appended2, oldStats, ext2[0], 2); err != nil || !ok {
+		t.Fatalf("all-null extension refused: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestApplyAppendMatchesScratch: a delta-extended generator must serve
+// every pair bit-identically to scanning the appended tables from scratch
+// under the same pinned layouts — which an ApplyAppend of a cold generator
+// conveniently is (no cached artifacts to extend, so everything recomputes
+// over the new tables).
+func TestApplyAppendMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base, appended, _, _ := splitKernelTable(t, rng)
+	// Target: a filtered subset of the base, extended by the append's
+	// matching rows — prefix-extension, like live query maintenance.
+	filter := func(tab *dataset.Table) []int {
+		col := tab.Column("m2")
+		var sel []int
+		for r := 0; r < tab.NumRows(); r++ {
+			if v, ok := col.Float(r); ok && v >= 25 {
+				sel = append(sel, r)
+			}
+		}
+		return sel
+	}
+	baseTgt := base.Subset("dq", filter(base))
+	newTgt := appended.Subset("dq", filter(appended))
+
+	cfg := SpaceConfig{BinCounts: []int{3, 4}}
+	warm, err := NewGenerator(base, baseTgt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Warm(2); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := warm.ApplyAppend(appended, newTgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewGenerator(base, baseTgt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := cold.ApplyAppend(appended, newTgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range warm.Specs() {
+		dp, err := delta.Pair(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := scratch.Pair(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hp := range []struct{ d, s *Histogram }{{dp.Target, sp.Target}, {dp.Reference, sp.Reference}} {
+			if hp.d.Shift != hp.s.Shift {
+				t.Fatalf("spec %v: shift %g != %g", spec, hp.d.Shift, hp.s.Shift)
+			}
+			for b := range hp.d.Values {
+				if hp.d.Values[b] != hp.s.Values[b] || hp.d.Counts[b] != hp.s.Counts[b] ||
+					hp.d.Sums[b] != hp.s.Sums[b] || hp.d.SumSqs[b] != hp.s.SumSqs[b] {
+					t.Fatalf("spec %v bin %d: delta pair differs from scratch", spec, b)
+				}
+			}
+		}
+	}
+}

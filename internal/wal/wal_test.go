@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/faultfs"
+	"viewseeker/internal/retry"
+)
+
+func testRows(n, base int) [][]dataset.Value {
+	rows := make([][]dataset.Value, n)
+	for i := range rows {
+		rows[i] = []dataset.Value{
+			dataset.Int(int64(base + i)),
+			dataset.Float(float64(base+i) * 0.5),
+			dataset.StringVal("cat"),
+			dataset.Bool(i%2 == 0),
+			dataset.Null,
+		}
+	}
+	return rows
+}
+
+func openT(t *testing.T, fs faultfs.FS, path string, opts Options) (*WAL, *Recovery) {
+	t.Helper()
+	w, rec, err := Open(fs, path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, rec
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, rec := openT(t, nil, path, Options{})
+	if rec.LastSeq != 0 || len(rec.Batches) != 0 {
+		t.Fatalf("fresh log recovered %d batches, seq %d", len(rec.Batches), rec.LastSeq)
+	}
+	want := []Batch{}
+	for i := 0; i < 5; i++ {
+		rows := testRows(3+i, i*100)
+		seq, err := w.Append(rows)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq %d, want %d", i, seq, i+1)
+		}
+		want = append(want, Batch{Seq: seq, Rows: rows})
+	}
+	if w.Seq() != 5 {
+		t.Fatalf("Seq() = %d, want 5", w.Seq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, rec2 := openT(t, nil, path, Options{})
+	if rec2.TornTail {
+		t.Fatal("clean log reported a torn tail")
+	}
+	if !reflect.DeepEqual(rec2.Batches, want) {
+		t.Fatalf("replayed batches differ:\n got %+v\nwant %+v", rec2.Batches, want)
+	}
+	if w2.Seq() != 5 {
+		t.Fatalf("reopened Seq() = %d, want 5", w2.Seq())
+	}
+	// Appends continue the chain after reopen.
+	if seq, err := w2.Append(testRows(1, 999)); err != nil || seq != 6 {
+		t.Fatalf("post-reopen Append: seq %d err %v, want 6 nil", seq, err)
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	w, _ := openT(t, nil, filepath.Join(t.TempDir(), "t.wal"), Options{})
+	if _, err := w.Append(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestRaggedBatchRejected(t *testing.T) {
+	w, _ := openT(t, nil, filepath.Join(t.TempDir(), "t.wal"), Options{})
+	rows := [][]dataset.Value{{dataset.Int(1), dataset.Int(2)}, {dataset.Int(3)}}
+	if _, err := w.Append(rows); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	// The failed encode must not advance the sequence or write anything.
+	if w.Seq() != 0 {
+		t.Fatalf("Seq advanced to %d on rejected batch", w.Seq())
+	}
+	if _, rec := openT(t, nil, w.Path(), Options{}); len(rec.Batches) != 0 {
+		t.Fatalf("rejected batch reached disk: %d batches", len(rec.Batches))
+	}
+}
+
+// TestRecoveryTruncatesTornTail appends through a tearing FS so a partial
+// frame lands on disk (retries disabled so the tear survives), then checks
+// Open truncates it and replays exactly the committed prefix.
+func TestRecoveryFaultTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := faultfs.NewFaulty(nil)
+	w, _ := openT(t, fs, path, Options{Retry: retry.Policy{Attempts: 1}})
+	committed := testRows(4, 0)
+	if _, err := w.Append(committed); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// Tear mid-record and make truncation fail too, simulating a crash
+	// before repair: the partial frame stays on disk for recovery to find.
+	tearErr := errors.New("injected tear")
+	fs.TearWritesAfter(10, tearErr)
+	failFS := &failTruncateFS{FS: fs}
+	w2, _ := openT(t, failFS, path, Options{Retry: retry.Policy{Attempts: 1}})
+	if _, err := w2.Append(testRows(2, 50)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	fs.Clear()
+	w2.Close()
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, rec := openT(t, fs, path, Options{})
+	if !rec.TornTail {
+		t.Fatal("recovery missed the torn tail")
+	}
+	if rec.TornBytes != 10 {
+		t.Fatalf("TornBytes = %d, want 10", rec.TornBytes)
+	}
+	if len(rec.Batches) != 1 || !reflect.DeepEqual(rec.Batches[0].Rows, committed) {
+		t.Fatalf("recovery did not restore the committed prefix: %+v", rec.Batches)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Size() >= st.Size() || st2.Size() != rec.CommittedBytes {
+		t.Fatalf("truncation sizes: before %d after %d committed %d", st.Size(), st2.Size(), rec.CommittedBytes)
+	}
+	// The log is writable again after recovery.
+	if seq, err := w3.Append(testRows(1, 7)); err != nil || seq != 2 {
+		t.Fatalf("post-recovery Append: seq %d err %v, want 2 nil", seq, err)
+	}
+}
+
+// TestAppendRetryCompletesTear: one torn write followed by healthy writes —
+// the retry must complete the record's missing suffix so the log stays
+// byte-perfect.
+func TestFaultAppendRetryCompletesTear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := faultfs.NewFaulty(nil)
+	w, _ := openT(t, fs, path, Options{Retry: retry.Policy{Attempts: 3, Sleep: func(time.Duration) {}}})
+	rows := testRows(3, 0)
+	fs.FailNextWrites(1, errors.New("transient"))
+	if _, err := w.Append(rows); err != nil {
+		t.Fatalf("Append with transient fault: %v", err)
+	}
+	w.Close()
+
+	// Reopen through an FS that tears exactly one write mid-record: the
+	// retry must resume at the torn byte, not rewrite the whole frame.
+	tfs := &tearOnceFS{FS: faultfs.OS{}, tearAt: 5}
+	w2, _ := openT(t, tfs, path, Options{Retry: retry.Policy{Attempts: 3, Sleep: func(time.Duration) {}}})
+	rows2 := testRows(2, 10)
+	if _, err := w2.Append(rows2); err != nil {
+		t.Fatalf("Append with torn first write: %v", err)
+	}
+	if !tfs.torn {
+		t.Fatal("tear fault never fired")
+	}
+	w2.Close()
+
+	_, rec := openT(t, nil, path, Options{})
+	if rec.TornTail {
+		t.Fatal("retried appends left a torn tail")
+	}
+	if len(rec.Batches) != 2 ||
+		!reflect.DeepEqual(rec.Batches[0].Rows, rows) ||
+		!reflect.DeepEqual(rec.Batches[1].Rows, rows2) {
+		t.Fatalf("replay after retries: %+v", rec.Batches)
+	}
+}
+
+// tearOnceFS persists the first tearAt bytes of one write, errors it, then
+// behaves normally — a single transient torn write.
+type tearOnceFS struct {
+	faultfs.FS
+	tearAt int
+	torn   bool
+}
+
+func (f *tearOnceFS) OpenFile(name string, flag int, perm os.FileMode) (faultfs.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &tearOnceFile{File: file, fs: f}, nil
+}
+
+type tearOnceFile struct {
+	faultfs.File
+	fs *tearOnceFS
+}
+
+func (f *tearOnceFile) Write(p []byte) (int, error) {
+	if !f.fs.torn && len(p) > f.fs.tearAt {
+		f.fs.torn = true
+		n, err := f.File.Write(p[:f.fs.tearAt])
+		if err != nil {
+			return n, err
+		}
+		return n, errors.New("injected one-shot tear")
+	}
+	return f.File.Write(p)
+}
+
+// failTruncateFS makes torn-tail repair impossible, forcing the poison path.
+type failTruncateFS struct{ faultfs.FS }
+
+func (f *failTruncateFS) Truncate(string, int64) error {
+	return errors.New("injected truncate failure")
+}
+
+func TestFaultPoisonedAfterFailedTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	faulty := faultfs.NewFaulty(nil)
+	fs := &failTruncateFS{FS: faulty}
+	w, _ := openT(t, fs, path, Options{Retry: retry.Policy{Attempts: 1}})
+	if _, err := w.Append(testRows(1, 0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	faulty.TearWritesAfter(3, errors.New("tear"))
+	if _, err := w.Append(testRows(1, 1)); err == nil {
+		t.Fatal("torn, untruncatable append reported success")
+	}
+	faulty.Clear()
+	if _, err := w.Append(testRows(1, 2)); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	// Reopen through a healthy FS repairs the tail.
+	w.Close()
+	w2, rec := openT(t, nil, path, Options{})
+	if len(rec.Batches) != 1 || !rec.TornTail {
+		t.Fatalf("recovery after poison: %d batches, torn=%v", len(rec.Batches), rec.TornTail)
+	}
+	if _, err := w2.Append(testRows(1, 3)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+// TestRecoveryCorruptPayload flips a byte inside a committed record: the
+// checksum must reject it and truncate from that record on.
+func TestRecoveryCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := openT(t, nil, path, Options{})
+	w.Append(testRows(2, 0))
+	w.Append(testRows(2, 10))
+	w.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte of the second record. Record 1's frame length
+	// is in its first 4 bytes.
+	rec1 := recordHeaderLen + int64(uint32le(raw[0:4]))
+	raw[rec1+recordHeaderLen+2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, nil, path, Options{})
+	if !rec.TornTail || len(rec.Batches) != 1 || rec.Batches[0].Seq != 1 {
+		t.Fatalf("corrupt second record: torn=%v batches=%d", rec.TornTail, len(rec.Batches))
+	}
+}
+
+// TestRecoverySeqChainBreak: a record whose sequence number skips ahead is
+// rejected even though its checksum is valid — logs cannot replay out of
+// order.
+func TestRecoverySeqChainBreak(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.wal")
+	b := filepath.Join(dir, "b.wal")
+	wa, _ := openT(t, nil, a, Options{})
+	wa.Append(testRows(1, 0))
+	wa.Close()
+	wb, _ := openT(t, nil, b, Options{})
+	wb.Append(testRows(1, 0))
+	wb.Append(testRows(1, 1))
+	wb.Close()
+	// Splice b's second record (seq 2) after nothing: seq chain 2 ≠ 1.
+	rawB, _ := os.ReadFile(b)
+	recB1 := recordHeaderLen + int64(uint32le(rawB[0:4]))
+	spliced := filepath.Join(dir, "s.wal")
+	if err := os.WriteFile(spliced, rawB[recB1:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, nil, spliced, Options{})
+	if !rec.TornTail || len(rec.Batches) != 0 {
+		t.Fatalf("out-of-order record accepted: torn=%v batches=%d", rec.TornTail, len(rec.Batches))
+	}
+}
+
+func TestSyncEveryBatchesFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := &countingFS{FS: faultfs.OS{}}
+	w, _ := openT(t, fs, path, Options{SyncEvery: 3})
+	for i := 0; i < 7; i++ {
+		if _, err := w.Append(testRows(1, i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if got := fs.syncs.count(); got != 2 { // after batches 3 and 6
+		t.Fatalf("fsyncs after 7 appends with SyncEvery=3: %d, want 2", got)
+	}
+	w.Close() // final sync
+	if got := fs.syncs.count(); got != 3 {
+		t.Fatalf("fsyncs after Close: %d, want 3", got)
+	}
+}
+
+func uint32le(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+type syncCounter struct {
+	n  int
+	mu chan struct{}
+}
+
+func newSyncCounter() *syncCounter {
+	c := &syncCounter{mu: make(chan struct{}, 1)}
+	c.mu <- struct{}{}
+	return c
+}
+func (c *syncCounter) inc() {
+	<-c.mu
+	c.n++
+	c.mu <- struct{}{}
+}
+func (c *syncCounter) count() int {
+	<-c.mu
+	n := c.n
+	c.mu <- struct{}{}
+	return n
+}
+
+type countingFS struct {
+	faultfs.FS
+	syncs *syncCounter
+}
+
+func (c *countingFS) OpenFile(name string, flag int, perm os.FileMode) (faultfs.File, error) {
+	if c.syncs == nil {
+		c.syncs = newSyncCounter()
+	}
+	f, err := c.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, syncs: c.syncs}, nil
+}
+
+type countingFile struct {
+	faultfs.File
+	syncs *syncCounter
+}
+
+func (c *countingFile) Sync() error {
+	c.syncs.inc()
+	return c.File.Sync()
+}

@@ -1,0 +1,271 @@
+package viewseeker
+
+import (
+	"fmt"
+	"sync"
+
+	"viewseeker/internal/feature"
+	"viewseeker/internal/live"
+	"viewseeker/internal/sql"
+	"viewseeker/internal/view"
+	"viewseeker/internal/wal"
+)
+
+// LiveTable is a WAL-backed appendable table: a base snapshot plus a
+// durable redo log of append batches, published as immutable versions so
+// readers and recommendation sessions are never invalidated mid-flight.
+type LiveTable = live.Table
+
+// LiveRecovery reports what replaying a live table's write-ahead log
+// found: the last committed sequence, and whether a torn tail from a
+// crash mid-append was truncated.
+type LiveRecovery = wal.Recovery
+
+// OpenLiveTable opens (creating if needed) the write-ahead log at walPath
+// and replays its committed batches over base, returning the live table at
+// its last committed version. base must be the same snapshot the log was
+// started against. syncEvery batches one fsync per that many appends
+// (<= 1 syncs every append — full durability).
+func OpenLiveTable(walPath string, base *Table, syncEvery int) (*LiveTable, *LiveRecovery, error) {
+	return live.Open(nil, walPath, base, wal.Options{SyncEvery: syncEvery})
+}
+
+// Maintained is an incrementally maintained offline result over a live
+// table: the view-space bin indexes, scan statistics and utility-feature
+// matrix for one exploration query, kept current as the table grows.
+// Advance folds newly appended rows into the cached scans (bit-identical
+// to recomputing from scratch, at a fraction of the cost) instead of
+// rerunning the offline pass; NewSession mints interactive sessions from
+// the current state without paying the offline phase again.
+//
+// Maintenance is exact-only: Options.Alpha is forced to 1, because
+// α-sampled matrices are tied to one session's refinement run and cannot
+// be extended across appends.
+//
+// Bin layouts are pinned to the table Maintain saw: incremental updates
+// never re-fit bin boundaries (that is what makes them bit-identical to a
+// pinned-layout recomputation), so appended values outside a numeric
+// dimension's original range fall out of its histogram. When the data
+// distribution drifts, build a fresh Maintained to re-fit the layouts.
+type Maintained struct {
+	mu       sync.Mutex
+	lt       *LiveTable
+	query    string
+	opts     Options
+	registry *feature.Registry
+	spaceCfg view.SpaceConfig
+
+	seq    uint64
+	ref    *Table
+	target *Table
+	gen    *view.Generator
+	matrix *feature.Matrix
+
+	// suffixable marks the query row-local (SELECT * plus a WHERE filter):
+	// its result over an extended table is its old result plus its result
+	// over the appended suffix, so Advance evaluates it over the suffix
+	// only instead of rescanning the table.
+	suffixable bool
+
+	extended, rebuilt int
+}
+
+// rowLocal reports whether a statement's result over a prefix-extended
+// table is always a prefix extension of its old result, computable from
+// the appended rows alone: a bare SELECT * with at most a WHERE clause.
+// DISTINCT, aggregation, grouping, ordering and limits all let appended
+// rows change or reorder earlier result rows.
+func rowLocal(stmt *sql.SelectStmt) bool {
+	if stmt.From == "" || stmt.Distinct || len(stmt.GroupBy) > 0 || stmt.Having != nil ||
+		len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
+		return false
+	}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			return false
+		}
+	}
+	return true
+}
+
+// Maintain runs the offline phase for query over the live table's current
+// version and keeps the result for incremental maintenance. opts follows
+// New, except Alpha is forced to 1 (exact) and Cache is ignored — the
+// maintained state is itself the cache, addressed by the table's version.
+func Maintain(lt *LiveTable, query string, opts Options) (*Maintained, error) {
+	if lt == nil {
+		return nil, fmt.Errorf("viewseeker: nil live table")
+	}
+	opts.Alpha = 1
+	opts.Cache = nil
+	registry, err := buildRegistry(opts)
+	if err != nil {
+		return nil, err
+	}
+	spaceCfg := view.SpaceConfig{
+		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
+	}.Normalized()
+	m := &Maintained{lt: lt, query: query, opts: opts, registry: registry, spaceCfg: spaceCfg}
+	if stmt, perr := sql.Parse(query); perr == nil {
+		m.suffixable = rowLocal(stmt)
+	}
+	ref, seq := lt.Snapshot()
+	if err := m.rebuild(ref, seq); err != nil {
+		return nil, err
+	}
+	m.rebuilt = 0 // the initial build is not a fallback
+	return m, nil
+}
+
+// rebuild recomputes the offline state from scratch over ref (the fallback
+// path, and the initial build). Caller holds no lock or the lock.
+func (m *Maintained) rebuild(ref *Table, seq uint64) error {
+	target, err := m.runQuery(ref)
+	if err != nil {
+		return err
+	}
+	gen, err := view.NewGenerator(ref, target, m.spaceCfg)
+	if err != nil {
+		return err
+	}
+	matrix, err := feature.ComputeWorkers(gen, m.registry, m.opts.Workers)
+	if err != nil {
+		return err
+	}
+	m.ref, m.target, m.gen, m.matrix, m.seq = ref, target, gen, matrix, seq
+	m.rebuilt++
+	return nil
+}
+
+func (m *Maintained) runQuery(ref *Table) (*Table, error) {
+	target, err := Query(ref, m.query)
+	if err != nil {
+		return nil, fmt.Errorf("viewseeker: exploration query: %w", err)
+	}
+	if target.NumRows() == 0 {
+		return nil, fmt.Errorf("viewseeker: exploration query selected no rows")
+	}
+	target.Name = ref.Name + "_dq"
+	return target, nil
+}
+
+// Advance folds rows appended since the last Advance (or Maintain) into
+// the maintained state, returning whether anything changed. The fast path
+// extends the cached bin indexes, statistics and feature matrix with only
+// the appended suffix — bit-identical to a recomputation because layouts
+// stay pinned and the floating-point accumulation order is preserved. It
+// applies when re-running the exploration query only appended result rows
+// (verified with Table.IsPrefixOf); a query whose result was reordered or
+// shrunk by the new data falls back to a full rebuild. Rebuilds also cover
+// appends that drift a measure's accumulation shift (an all-NULL column
+// gaining its first value).
+func (m *Maintained) Advance() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	newRef, newSeq := m.lt.Snapshot()
+	if newSeq == m.seq {
+		return false, nil
+	}
+	// The live table's versions form a copy-on-append chain, so newRef is a
+	// bit-exact prefix extension of m.ref by construction — only the target
+	// needs extension checking.
+	if newTarget, ok := m.extendTarget(newRef); ok {
+		if ng, err := m.gen.ApplyAppend(newRef, newTarget); err == nil {
+			// The delta-extended generator answers every scan from its
+			// seeded caches; Compute then only reassembles per-view vectors.
+			if matrix, err := feature.ComputeWorkers(ng, m.registry, m.opts.Workers); err == nil {
+				m.ref, m.target, m.gen, m.matrix, m.seq = newRef, newTarget, ng, matrix, newSeq
+				m.extended++
+				return true, nil
+			}
+		}
+	}
+	if err := m.rebuild(newRef, newSeq); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// extendTarget produces the exploration query's result over newRef as an
+// extension of the old result, or ok=false when the delta path does not
+// apply. A row-local query runs over only the appended suffix — O(appended)
+// instead of O(table); anything else reruns in full and verifies that the
+// new data only appended result rows (Table.IsPrefixOf).
+func (m *Maintained) extendTarget(newRef *Table) (*Table, bool) {
+	if m.suffixable {
+		from, to := m.ref.NumRows(), newRef.NumRows()
+		suffix := newRef.Subset(newRef.Name, seqRange(from, to))
+		matches, err := Query(suffix, m.query)
+		if err != nil {
+			return nil, false
+		}
+		rows := make([][]Value, matches.NumRows())
+		for i := range rows {
+			rows[i] = matches.Row(i)
+		}
+		newTarget, err := m.target.WithAppended(rows)
+		if err != nil {
+			return nil, false
+		}
+		return newTarget, true
+	}
+	newTarget, err := m.runQuery(newRef)
+	if err != nil || !m.target.IsPrefixOf(newTarget) {
+		return nil, false
+	}
+	return newTarget, true
+}
+
+func seqRange(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// NewSession mints an interactive session from the maintained state —
+// the offline phase is already paid, so this is the warm path regardless
+// of any Options.Cache. The session keeps the version it was built on:
+// later Advances never mutate it.
+func (m *Maintained) NewSession() (*Seeker, error) {
+	m.mu.Lock()
+	ref, target, gen := m.ref, m.target, m.gen
+	matrix, registry := m.matrix, m.registry
+	opts, spaceCfg := m.opts, m.spaceCfg
+	m.mu.Unlock()
+	// Sessions share the maintained matrix read-only (exact rows are never
+	// refined), but Rebuild makes the rows the matrix's backing store, so
+	// hand each session its own row headers.
+	rows := make([][]float64, len(matrix.Rows))
+	copy(rows, matrix.Rows)
+	exact := make([]bool, len(matrix.Exact))
+	copy(exact, matrix.Exact)
+	sm, err := feature.Rebuild(gen, registry, matrix.Specs, rows, exact)
+	if err != nil {
+		return nil, err
+	}
+	return finishSession(ref, target, opts, registry, spaceCfg, sm, gen, true, false)
+}
+
+// Seq returns the live-table sequence the maintained state is current to.
+func (m *Maintained) Seq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// Stats reports how many Advances took the incremental path versus fell
+// back to a full rebuild.
+func (m *Maintained) Stats() (extended, rebuilt int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.extended, m.rebuilt
+}
+
+// Matrix returns the current feature matrix (shared, read-only).
+func (m *Maintained) Matrix() *feature.Matrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matrix
+}

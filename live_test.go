@@ -1,0 +1,177 @@
+package viewseeker
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/view"
+)
+
+// liveSYN returns a SYN table split into a base and an append batch of
+// boxed rows, so tests can grow a live table with data the exploration
+// query selects from.
+func liveSYN(t *testing.T, rows, appendRows int) (*Table, [][]Value) {
+	t.Helper()
+	full := dataset.GenerateSYN(dataset.SYNConfig{Rows: rows + appendRows, Seed: 7})
+	base := full.Subset(full.Name, seqRows(0, rows))
+	if err := dataset.AssignRoles(base, full.Schema.Dimensions(), full.Schema.Measures()); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]Value, appendRows)
+	for i := range batch {
+		batch[i] = full.Row(rows + i)
+	}
+	return base, batch
+}
+
+func seqRows(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestMaintainedAdvanceMatchesRebuild(t *testing.T) {
+	base, batch := liveSYN(t, 3000, 300)
+	lt, _, err := OpenLiveTable(filepath.Join(t.TempDir(), "syn.wal"), base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+
+	opts := Options{K: 5, BinCounts: []int{3, 4}}
+	m, err := Maintain(lt, dataset.SYNQuery, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := m.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("Advance saw no change after an append")
+	}
+	if ext, reb := m.Stats(); ext != 1 || reb != 0 {
+		t.Fatalf("stats: extended %d rebuilt %d, want the incremental path", ext, reb)
+	}
+
+	// Oracle: a full recompute over the appended tables with the base's
+	// pinned layouts (delta maintenance pins layouts by design — a fresh
+	// Maintain would re-fit bin boundaries to the new data and legitimately
+	// differ). A cold generator's ApplyAppend carries exactly the pinned
+	// layouts and empty caches, so Compute over it is a from-scratch pass.
+	newRef := lt.Current()
+	baseTarget, err := Query(base, dataset.SYNQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTarget.Name = base.Name + "_dq"
+	newTarget, err := Query(newRef, dataset.SYNQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTarget.Name = newRef.Name + "_dq"
+	spaceCfg := view.SpaceConfig{BinCounts: opts.BinCounts}.Normalized()
+	cold, err := view.NewGenerator(base, baseTarget, spaceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := cold.ApplyAppend(newRef, newTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := feature.Compute(scratch, feature.StandardRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Matrix()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("matrix rows %d vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if math.Float64bits(got.Rows[i][j]) != math.Float64bits(want.Rows[i][j]) {
+				t.Fatalf("matrix[%d][%d] = %v, rebuild %v — delta maintenance is not bit-identical",
+					i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+
+	// Idempotence: no new appends, no work.
+	if changed, err := m.Advance(); err != nil || changed {
+		t.Fatalf("no-op Advance: changed %v err %v", changed, err)
+	}
+}
+
+func TestMaintainedSessionsAcrossAppends(t *testing.T) {
+	base, batch := liveSYN(t, 2000, 200)
+	lt, _, err := OpenLiveTable(filepath.Join(t.TempDir(), "syn.wal"), base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	m, err := Maintain(lt, dataset.SYNQuery, Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRows := s1.Reference().NumRows()
+
+	if _, err := lt.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s1 keeps the version it was built on; s2 sees the appended rows.
+	if s1.Reference().NumRows() != oldRows {
+		t.Fatal("existing session's reference changed under it")
+	}
+	if got := s2.Reference().NumRows(); got != oldRows+len(batch) {
+		t.Fatalf("new session sees %d rows, want %d", got, oldRows+len(batch))
+	}
+	for _, s := range []*Seeker{s1, s2} {
+		v, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Feedback(v.Index, 1); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.TopK()) == 0 {
+			t.Fatal("no recommendations")
+		}
+	}
+}
+
+func TestMaintainedForcesExact(t *testing.T) {
+	base, _ := liveSYN(t, 1000, 0)
+	lt, _, err := OpenLiveTable(filepath.Join(t.TempDir(), "syn.wal"), base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	m, err := Maintain(lt, dataset.SYNQuery, Options{Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range m.Matrix().Exact {
+		if !e {
+			t.Fatalf("row %d is inexact: Maintain must force Alpha = 1", i)
+		}
+	}
+}
