@@ -17,10 +17,21 @@
 //
 //	go run ./cmd/bench [-rows 50000,200000] [-alpha 0.1] [-obs] [-o BENCH_offline.json]
 //	go run ./cmd/bench -check BENCH_offline.json
+//	go run ./cmd/bench -online -rows 200000,1000000
+//	go run ./cmd/bench -check-online BENCH_online.json
 //
 // -check validates the tracked document instead of benchmarking: CI runs
 // the kernels at smoke scale but asserts the locally produced SYN 1M-row
 // warm entry is present and well-formed.
+//
+// -online benchmarks the online phase instead: full feedback iterations
+// (uncertainty selection, budgeted incremental refinement, estimator
+// refit) driven by a simulated user over an α-sampled matrix, written to
+// BENCH_online.json. Before timing it verifies the layout-block feature
+// kernels against a per-pair oracle registry and the incremental
+// sufficient-statistics refit against a from-scratch fit, both bit for
+// bit. -check-online asserts the tracked SYN 1M entry keeps the slowest
+// iteration under the one-second interactivity requirement.
 package main
 
 import (
@@ -103,6 +114,8 @@ func main() {
 	appendMode := flag.Bool("append", false, "benchmark the live-table append path instead of the scan kernels: durable WAL append throughput and incremental maintenance vs full rebuild, written to -o (default BENCH_append.json)")
 	appendPct := flag.Float64("append-pct", 0.01, "fraction of the rows appended in one batch in -append mode")
 	checkAppend := flag.String("check-append", "", "validate an existing BENCH_append.json: require the SYN 200k entry with a >= 5x delta-vs-rebuild speedup")
+	onlineMode := flag.Bool("online", false, "benchmark the online phase instead of the scan kernels: full feedback iterations (selection, refinement, refit) driven by a simulated user, written to -o (default BENCH_online.json)")
+	checkOnline := flag.String("check-online", "", "validate an existing BENCH_online.json: require the SYN 1M entry with every iteration under one second")
 	flag.Parse()
 
 	if *check != "" {
@@ -111,6 +124,10 @@ func main() {
 	}
 	if *checkAppend != "" {
 		checkAppendReport(*checkAppend)
+		return
+	}
+	if *checkOnline != "" {
+		checkOnlineReport(*checkOnline)
 		return
 	}
 
@@ -129,6 +146,14 @@ func main() {
 			out = "BENCH_append.json"
 		}
 		benchAppend(scales, *appendPct, out)
+		return
+	}
+	if *onlineMode {
+		out := *out
+		if out == "BENCH_offline.json" {
+			out = "BENCH_online.json"
+		}
+		benchOnline(scales, *alpha, out)
 		return
 	}
 

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"viewseeker/internal/core"
+	"viewseeker/internal/exp"
+	"viewseeker/internal/feature"
+	"viewseeker/internal/metric"
+	"viewseeker/internal/ml"
+	"viewseeker/internal/obs"
+	"viewseeker/internal/sim"
+	"viewseeker/internal/view"
+)
+
+// onlineResult is one online-phase datapoint: the latency of full feedback
+// iterations (selection, label, budgeted refinement, estimator refit)
+// driven by a simulated user over an α-sampled matrix — the interactive
+// loop the paper requires to stay under a second per iteration.
+type onlineResult struct {
+	Dataset    string  `json:"dataset"`
+	Rows       int     `json:"rows"`
+	Views      int     `json:"views"`
+	Alpha      float64 `json:"alpha"`
+	Iterations int     `json:"iterations"`
+	// MaxIterNs is the slowest single iteration (min over trials): the
+	// number the < 1 s interactivity requirement constrains.
+	MaxIterNs  int64 `json:"max_iteration_ns"`
+	MeanIterNs int64 `json:"mean_iteration_ns"`
+	// Estimator refit path taken, from the metrics registry: rebuilds
+	// happen while refinement still mutates the matrix, incremental
+	// rank-1 refits once it settles.
+	RefitRebuilds    int64 `json:"refit_rebuilds"`
+	RefitIncremental int64 `json:"refit_incremental"`
+	RefinedRows      int64 `json:"refined_rows"`
+}
+
+// onlineReport is the BENCH_online.json document.
+type onlineReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	Description   string         `json:"description"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Results       []onlineResult `json:"results"`
+}
+
+// benchOnline measures the online phase on SYN at each scale. Before any
+// timing it verifies the two identities the fast paths claim: the
+// layout-block feature kernels against a per-pair oracle registry, and the
+// incremental sufficient-statistics refit against a from-scratch fit —
+// both bit for bit, on the actual benchmark testbed.
+func benchOnline(scales []int, alpha float64, out string) {
+	rep := onlineReport{
+		SchemaVersion: 1,
+		Description: "Online phase on SYN: full feedback iterations (uncertainty " +
+			"selection, budgeted incremental refinement, sufficient-statistics " +
+			"estimator refit) over an α-sampled feature matrix, driven by a " +
+			"simulated user. Interactivity requires the slowest iteration " +
+			"under one second.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, rows := range scales {
+		fmt.Fprintf(os.Stderr, "bench: online SYN %d rows\n", rows)
+		rep.Results = append(rep.Results, benchOnlineScale(rows, alpha))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", out)
+}
+
+// onlineIters is how many feedback iterations each trial drives — enough
+// for the session to leave cold start, exhaust the refinement queue and
+// settle into incremental refits.
+const onlineIters = 20
+
+func benchOnlineScale(rows int, alpha float64) onlineResult {
+	tb, err := exp.NewSYNTestbed(rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verifyBlockKernels(tb)
+	user, err := sim.NewUser(sim.IdealFunctions()[3], tb.Exact) // u*#4: 0.5·EMD + 0.5·KL
+	if err != nil {
+		log.Fatal(err)
+	}
+	verifyOnlineRefit(tb, user, alpha)
+
+	res := onlineResult{Dataset: "SYN", Rows: rows, Views: tb.Exact.Len(), Alpha: alpha}
+	res.MaxIterNs = math.MaxInt64
+	res.MeanIterNs = math.MaxInt64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		gen, err := tb.NewGeneratorLike()
+		if err != nil {
+			log.Fatal(err)
+		}
+		partial, err := feature.ComputePartial(gen, feature.StandardRegistry(), alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.NewSeeker(partial, core.Config{K: 10, RefineBudget: time.Second}, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		ctx := obs.NewContext(context.Background(), reg, nil)
+		var maxNs, sumNs int64
+		iters := 0
+		for i := 0; i < onlineIters; i++ {
+			start := time.Now()
+			next, err := s.NextViewsCtx(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(next) == 0 {
+				break
+			}
+			if err := s.FeedbackCtx(ctx, next[0], user.Label(next[0])); err != nil {
+				log.Fatal(err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			sumNs += ns
+			if ns > maxNs {
+				maxNs = ns
+			}
+			iters++
+		}
+		res.Iterations = iters
+		res.MaxIterNs = min64(res.MaxIterNs, maxNs)
+		res.MeanIterNs = min64(res.MeanIterNs, sumNs/int64(iters))
+		snap := reg.Snapshot()
+		res.RefitRebuilds = int64(snap["viewseeker_refit_rebuilds_total"])
+		res.RefitIncremental = int64(snap["viewseeker_refit_incremental_total"])
+		res.RefinedRows = int64(snap["viewseeker_optimize_refined_rows_total"])
+	}
+	fmt.Fprintf(os.Stderr,
+		"  %d views, %d iters: max %12d ns  mean %12d ns  (refits: %d rebuilt, %d incremental; %d rows refined)\n",
+		res.Views, res.Iterations, res.MaxIterNs, res.MeanIterNs,
+		res.RefitRebuilds, res.RefitIncremental, res.RefinedRows)
+	return res
+}
+
+// perPairOracle rebuilds the standard eight features through the generic
+// per-pair path: Add-built registries never carry the standard prefix, so
+// every value goes through Registry.Vector and the scalar metric kernels —
+// the oracle the layout-block fast path must match bit for bit.
+func perPairOracle() *feature.Registry {
+	r := feature.NewRegistry()
+	dist := func(f func(p, q []float64) (float64, error)) func(*view.Pair) (float64, error) {
+		return func(p *view.Pair) (float64, error) {
+			return f(p.Target.Distribution(), p.Reference.Distribution())
+		}
+	}
+	for _, f := range []feature.Feature{
+		{Name: feature.KL, Compute: dist(metric.KLDivergence)},
+		{Name: feature.EMD, Compute: dist(metric.EMD)},
+		{Name: feature.L1, Compute: dist(metric.L1)},
+		{Name: feature.L2, Compute: dist(metric.L2)},
+		{Name: feature.MaxDiff, Compute: dist(metric.MaxDiff)},
+		{Name: feature.Usability, Compute: func(p *view.Pair) (float64, error) {
+			return metric.Usability(p.Target.Bins())
+		}},
+		{Name: feature.Accuracy, Compute: func(p *view.Pair) (float64, error) {
+			return metric.Accuracy(p.Target.Counts, p.Target.Sums, p.Target.SumSqs, p.Target.Shift)
+		}},
+		{Name: feature.PValue, Compute: func(p *view.Pair) (float64, error) {
+			return metric.PValueScore(p.Target.Counts, p.Reference.Distribution())
+		}},
+	} {
+		if err := r.Add(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return r
+}
+
+// verifyBlockKernels refuses to benchmark a block-filled matrix that
+// diverges from the per-pair oracle on the testbed's own view space.
+func verifyBlockKernels(tb *exp.Testbed) {
+	oracle, err := feature.Compute(tb.Gen, perPairOracle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range tb.Exact.Rows {
+		for j := range tb.Exact.Rows[i] {
+			if math.Float64bits(tb.Exact.Rows[i][j]) != math.Float64bits(oracle.Rows[i][j]) {
+				log.Fatalf("bench: block kernel diverges from per-pair oracle at view %d feature %d: %v vs %v",
+					i, j, tb.Exact.Rows[i][j], oracle.Rows[i][j])
+			}
+		}
+	}
+}
+
+// verifyOnlineRefit drives a short refinement session and checks after
+// every label that the seeker's incrementally maintained estimator equals
+// a from-scratch sufficient-statistics fit over the same labels and the
+// matrix as it stands.
+func verifyOnlineRefit(tb *exp.Testbed, user *sim.User, alpha float64) {
+	gen, err := tb.NewGeneratorLike()
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := feature.ComputePartial(gen, feature.StandardRegistry(), alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ridge = 1e-4 // core.Config default, pinned so the reference fit matches
+	s, err := core.NewSeeker(partial, core.Config{K: 10, Ridge: ridge, RefineBudget: time.Second}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := len(partial.Rows[0])
+	z := make([]float64, k)
+	for i := 0; i < 8; i++ {
+		next, err := s.NextViews()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(next) == 0 {
+			break
+		}
+		if err := s.Feedback(next[0], user.Label(next[0])); err != nil {
+			log.Fatal(err)
+		}
+		scaler, err := ml.FitScaler(partial.Rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suff := ml.NewSuffStats(k)
+		idxs, labels := s.Labels()
+		for j, vi := range idxs {
+			scaler.TransformInto(partial.Rows[vi], z)
+			if err := suff.Add(z, labels[j]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ref := ml.NewLinearRegression(ridge)
+		ref.ExternalScaler = scaler
+		if err := ref.FitSufficient(suff); err != nil {
+			log.Fatal(err)
+		}
+		wantW, wantB := ref.Weights()
+		gotW, gotB := s.Weights()
+		if math.Float64bits(gotB) != math.Float64bits(wantB) {
+			log.Fatalf("bench: incremental refit diverges from from-scratch after label %d: bias %v vs %v", i, gotB, wantB)
+		}
+		for j := range wantW {
+			if math.Float64bits(gotW[j]) != math.Float64bits(wantW[j]) {
+				log.Fatalf("bench: incremental refit diverges from from-scratch after label %d: weight %d %v vs %v",
+					i, j, gotW[j], wantW[j])
+			}
+		}
+	}
+}
+
+// checkOnlineReport validates a tracked BENCH_online.json: it must parse
+// and carry the SYN 1M entry with every iteration under the one-second
+// interactivity requirement.
+func checkOnlineReport(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("bench: -check-online: %v", err)
+	}
+	var rep onlineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("bench: -check-online %s: %v", path, err)
+	}
+	if rep.SchemaVersion != 1 {
+		log.Fatalf("bench: -check-online %s: schema_version = %d, want 1", path, rep.SchemaVersion)
+	}
+	for _, r := range rep.Results {
+		if r.Rows == 1000000 {
+			if r.Iterations < 10 || r.MaxIterNs <= 0 || r.MeanIterNs <= 0 {
+				log.Fatalf("bench: -check-online %s: SYN 1M entry is degenerate: %+v", path, r)
+			}
+			if r.MaxIterNs >= int64(time.Second) {
+				log.Fatalf("bench: -check-online %s: SYN 1M slowest iteration %.3fs breaks the 1s interactivity requirement",
+					path, float64(r.MaxIterNs)*1e-9)
+			}
+			fmt.Fprintf(os.Stderr, "bench: -check-online %s: SYN 1M entry ok (max %.1fms, mean %.1fms per iteration)\n",
+				path, float64(r.MaxIterNs)*1e-6, float64(r.MeanIterNs)*1e-6)
+			return
+		}
+	}
+	log.Fatalf("bench: -check-online %s: missing SYN 1000000-row entry", path)
+}

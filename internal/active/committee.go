@@ -61,6 +61,17 @@ func (c *Committee) Select(rows [][]float64, labeled map[int]float64, m int) ([]
 			pool = append(pool, example{rows[i], y})
 		}
 	}
+	// One whole-space scaler shared by every member: the members' weight
+	// vectors then live in the same standardised feature space, which is
+	// what lets a later member warm-start from an earlier one's optimum
+	// (and what makes their votes comparable in the first place).
+	var scaler *ml.Scaler
+	if len(pool) > 0 {
+		var err error
+		if scaler, err = ml.FitScaler(rows); err != nil {
+			return nil, err
+		}
+	}
 	var members []*ml.LogisticRegression
 	for k := 0; k < size; k++ {
 		model := ml.NewLogisticRegression()
@@ -70,6 +81,16 @@ func (c *Committee) Select(rows [][]float64, labeled map[int]float64, m int) ([]
 			for j := range pool {
 				e := pool[c.rng.Intn(len(pool))]
 				x[j], y[j] = e.x, e.y
+			}
+			model.ExternalScaler = scaler
+			// Warm-start each member from its predecessor: the resamples
+			// overlap heavily, so the previous optimum is a few gradient
+			// steps from the next one. The chain lives entirely inside this
+			// call — members are fresh models, so Select stays a function of
+			// its arguments and the rng state, same as before.
+			if k > 0 {
+				model.WarmStart = true
+				model.SeedFrom(members[k-1])
 			}
 			if err := model.Fit(x, y); err != nil {
 				return nil, err

@@ -17,6 +17,16 @@ type Uncertainty struct {
 	// NewModel builds a fresh estimator per selection; nil uses
 	// ml.NewLogisticRegression.
 	NewModel func() *ml.LogisticRegression
+	// WarmStart retrains the previous selection's estimator in place
+	// instead of fitting a fresh one, seeding gradient descent from the
+	// last optimum — one new label rarely moves it far, so warm fits
+	// converge in a fraction of the epochs. Off by default because it
+	// trades away replay purity: Select becomes dependent on the
+	// strategy's own call history, so a session restored by replaying
+	// labels alone (core.SessionState) will not reproduce the original
+	// selections unless every intervening Select is replayed too. Keep it
+	// off for sessions that must be snapshot-restorable.
+	WarmStart bool
 
 	lastModel *ml.LogisticRegression
 }
@@ -62,6 +72,12 @@ func (u *Uncertainty) Select(rows [][]float64, labeled map[int]float64, m int) (
 	model := ml.NewLogisticRegression()
 	if u.NewModel != nil {
 		model = u.NewModel()
+	} else if u.WarmStart && u.lastModel != nil {
+		model = u.lastModel
+		model.WarmStart = true
+		// Rows shift under refinement, so the scaler is refitted below;
+		// the stale weights are only a descent seed, not a prediction.
+		model.ExternalScaler = nil
 	}
 	if len(x) > 0 {
 		// Standardise against the whole view space: the model scores every

@@ -30,6 +30,21 @@ type Seeker struct {
 
 	havePositive bool
 	haveNegative bool
+
+	// Incremental-refit state. The sufficient statistics absorb one
+	// standardised row per new label; they are valid only for the matrix
+	// version (and whole-space scaler) they were accumulated under, so any
+	// row refresh invalidates them and the next refit rebuilds from the
+	// label history. suffYs records the labels absorbed so far — a
+	// relabelled view changes an already-absorbed y, which rank-1 updates
+	// cannot express, so it too forces a rebuild.
+	suff      *ml.SuffStats
+	suffN     int
+	suffYs    []float64
+	scaler    *ml.Scaler
+	scalerVer uint64
+	scalerSet bool
+	zbuf      []float64
 }
 
 // NewSeeker builds a session over the matrix. When the matrix was computed
@@ -143,6 +158,17 @@ func (s *Seeker) FeedbackCtx(ctx context.Context, viewIdx int, label float64) er
 	}
 	ctx, span := obs.StartSpan(ctx, "feedback")
 	defer span.End()
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		// The full label→refine→refit round trip — the latency the user
+		// actually waits out between giving a label and seeing the next
+		// recommendation. The acceptance target for interactive scale is
+		// < 1 s per iteration (see cmd/bench -online).
+		start := time.Now()
+		defer func() {
+			reg.Histogram("viewseeker_feedback_iteration_seconds", obs.DurationBuckets).
+				ObserveDuration(time.Since(start))
+		}()
+	}
 	obs.RegistryFrom(ctx).Counter("viewseeker_active_labels_total").Inc()
 	if _, dup := s.labeled[viewIdx]; !dup {
 		s.order = append(s.order, viewIdx)
@@ -179,7 +205,7 @@ func (s *Seeker) FeedbackCtx(ctx context.Context, viewIdx int, label float64) er
 				ObserveDuration(time.Since(start))
 		}()
 	}
-	return s.refit()
+	return s.refit(ctx)
 }
 
 // refinePriority orders the rough rows one iteration may refresh: first
@@ -224,27 +250,74 @@ func (s *Seeker) refinePriority(justLabeled int) []int {
 	return out
 }
 
-func (s *Seeker) refit() error {
-	x := make([][]float64, 0, len(s.labeled))
-	y := make([]float64, 0, len(s.labeled))
-	for _, i := range s.order {
-		x = append(x, s.matrix.Rows[i])
-		y = append(y, s.labeled[i])
-	}
-	if len(x) == 0 {
+// refit retrains the utility estimator on the labelled set. It keeps
+// sufficient statistics (ml.SuffStats) keyed to the matrix version: while
+// the matrix is stable — refinement finished, or none configured — each
+// new label is absorbed as a rank-1 update and the solve costs O(k²)
+// regardless of how many labels exist. Any matrix refresh bumps the
+// version, which invalidates both the whole-space scaler and the
+// statistics, and the next refit rebuilds them from the label history
+// (O(labels·k²) — labels stay small, a user gives a few dozen at most).
+// Either path runs the identical Add sequence over the current rows, so a
+// restored session replaying its history refits bit-identically to the
+// session it snapshots (see SessionState).
+func (s *Seeker) refit(ctx context.Context) error {
+	if len(s.order) == 0 {
 		return nil
 	}
+	reg := obs.RegistryFrom(ctx)
 	// Standardise against the whole view space, not just the labelled
 	// rows: the estimator predicts over every view, and labelled-only
 	// statistics would let near-constant-among-labels features explode on
 	// the rest of the space. Matrix rows change under refinement, so the
-	// scaler is refitted per refit (cheap: |views| × |features|).
-	scaler, err := ml.FitScaler(s.matrix.Rows)
-	if err != nil {
-		return err
+	// scaler is keyed to the matrix version and refitted when it moves
+	// (cheap: |views| × |features|).
+	ver := s.matrix.Version()
+	if !s.scalerSet || ver != s.scalerVer {
+		scaler, err := ml.FitScaler(s.matrix.Rows)
+		if err != nil {
+			return err
+		}
+		s.scaler = scaler
+		s.scalerVer = ver
+		s.scalerSet = true
+		s.suff = nil // statistics are bound to the scaler's feature space
 	}
-	s.utility.ExternalScaler = scaler
-	return s.utility.Fit(x, y)
+	// A relabelled view rewrites an absorbed y in place; rank-1 updates
+	// cannot undo that, so a history prefix mismatch forces a rebuild.
+	if s.suff != nil && s.suffN <= len(s.order) {
+		for i := 0; i < s.suffN; i++ {
+			if s.suffYs[i] != s.labeled[s.order[i]] {
+				s.suff = nil
+				break
+			}
+		}
+	} else {
+		s.suff = nil
+	}
+	k := len(s.matrix.Rows[0])
+	if s.suff == nil {
+		s.suff = ml.NewSuffStats(k)
+		s.suffN = 0
+		s.suffYs = s.suffYs[:0]
+		reg.Counter("viewseeker_refit_rebuilds_total").Inc()
+	} else {
+		reg.Counter("viewseeker_refit_incremental_total").Inc()
+	}
+	if len(s.zbuf) != k {
+		s.zbuf = make([]float64, k)
+	}
+	for _, i := range s.order[s.suffN:] {
+		y := s.labeled[i]
+		s.scaler.TransformInto(s.matrix.Rows[i], s.zbuf)
+		if err := s.suff.Add(s.zbuf, y); err != nil {
+			return err
+		}
+		s.suffYs = append(s.suffYs, y)
+		s.suffN++
+	}
+	s.utility.ExternalScaler = s.scaler
+	return s.utility.FitSufficient(s.suff)
 }
 
 // Predict returns the current estimator's utility for one view (0 before

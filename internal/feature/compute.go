@@ -3,6 +3,7 @@ package feature
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"viewseeker/internal/obs"
@@ -21,7 +22,16 @@ type Matrix struct {
 
 	gen      *view.Generator
 	registry *Registry
+	// version counts Rows mutations (RefreshRow/RefreshFamily). Consumers
+	// that derive state from the rows — the seeker's whole-space scaler,
+	// its refit sufficient statistics — key their caches on it.
+	version atomic.Uint64
 }
+
+// Version returns the matrix's mutation counter: it increments every time
+// a refresh rewrites rows, so row-derived caches can detect staleness
+// without comparing row contents. Safe for concurrent use.
+func (m *Matrix) Version() uint64 { return m.version.Load() }
 
 // Compute builds the matrix over the full data: the unoptimised offline
 // phase of ViewSeeker, parallelised over all CPUs. Use ComputeWorkers to
@@ -103,14 +113,14 @@ func computeMatrix(ctx context.Context, g *view.Generator, r *Registry, refRows 
 	reg := obs.RegistryFrom(ctx)
 	warmCtx, warmSpan := obs.StartSpan(ctx, "offline.warm")
 	warmStart := time.Now()
-	pairOf := g.Pair
+	pairOf, statsOf := g.Pair, g.LayoutStats
 	if refRows != nil {
 		run := g.NewSampledRun(refRows, nil)
 		if err := run.WarmCtx(warmCtx, workers); err != nil {
 			warmSpan.End()
 			return nil, err
 		}
-		pairOf = run.Pair
+		pairOf, statsOf = run.Pair, run.LayoutStats
 	} else if err := g.WarmCtx(warmCtx, workers); err != nil {
 		warmSpan.End()
 		return nil, err
@@ -121,19 +131,45 @@ func computeMatrix(ctx context.Context, g *view.Generator, r *Registry, refRows 
 
 	featCtx, featSpan := obs.StartSpan(ctx, "offline.features")
 	featStart := time.Now()
-	err := par.ForEachCtx(featCtx, len(specs), workers, func(i int) error {
-		p, err := pairOf(specs[i])
-		if err != nil {
-			return err
-		}
-		vec, err := r.Vector(p)
-		if err != nil {
-			return err
-		}
-		m.Rows[i] = vec
-		m.Exact[i] = exact
-		return nil
-	})
+	var err error
+	if r.stdPrefix {
+		// Block fast path: one layout's views are filled together straight
+		// from the layout statistics (see block.go), bit-identical to the
+		// per-pair loop below. Cancellation granularity widens from one view
+		// to one layout block. Each block's rows share one flat backing
+		// array, cutting the per-view allocation to a slice header.
+		groups := layoutGroups(specs)
+		k := r.Len()
+		err = par.ForEachCtx(featCtx, len(groups), workers, func(gi int) error {
+			idxs := groups[gi]
+			rs, ts, err := statsOf(specs[idxs[0]])
+			if err != nil {
+				return err
+			}
+			backing := make([]float64, len(idxs)*k)
+			for j, i := range idxs {
+				m.Rows[i] = backing[j*k : (j+1)*k : (j+1)*k]
+				m.Exact[i] = exact
+			}
+			var sc blockScratch
+			return r.fillBlockRows(rs, ts, specs, idxs, m.Rows, &sc)
+		})
+		reg.Counter("viewseeker_feature_block_fills_total").Add(int64(len(groups)))
+	} else {
+		err = par.ForEachCtx(featCtx, len(specs), workers, func(i int) error {
+			p, err := pairOf(specs[i])
+			if err != nil {
+				return err
+			}
+			vec, err := r.Vector(p)
+			if err != nil {
+				return err
+			}
+			m.Rows[i] = vec
+			m.Exact[i] = exact
+			return nil
+		})
+	}
 	featSpan.End()
 	if err != nil {
 		return nil, err
@@ -220,5 +256,71 @@ func (m *Matrix) RefreshRow(i int) error {
 	}
 	m.Rows[i] = vec
 	m.Exact[i] = true
+	m.version.Add(1)
+	return nil
+}
+
+// RefreshFamily recomputes the given views on the full data and marks
+// them exact — RefreshRow batched over one (dimension, bins, measure)
+// family. The family's statistics are fetched once with PairFocused's
+// cost model (a cached all-measures scan, else one narrow single-measure
+// scan) and rows are block-filled from them, so refining a whole family
+// costs one scan plus the fused kernels instead of per-view Histogram
+// assembly and closure dispatch. Rows are written in place when already
+// sized, keeping the refresh allocation-free outside the scan (see
+// TestFeatureBlockAllocations). Registries without the standard prefix
+// fall back to per-view computation over the shared statistics.
+// Already-exact rows are skipped; results are bit-identical to
+// RefreshRow's.
+func (m *Matrix) RefreshFamily(idxs []int) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	for _, i := range idxs {
+		if i < 0 || i >= len(m.Rows) {
+			return fmt.Errorf("feature: row %d out of range [0, %d)", i, len(m.Rows))
+		}
+	}
+	first := m.Specs[idxs[0]]
+	todo := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		s := m.Specs[i]
+		if s.Dimension != first.Dimension || s.Bins != first.Bins || s.Measure != first.Measure {
+			return fmt.Errorf("feature: family refresh mixes %s/%d/%s and %s/%d/%s",
+				first.Dimension, first.Bins, first.Measure, s.Dimension, s.Bins, s.Measure)
+		}
+		if !m.Exact[i] {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	rs, ts, err := m.gen.FamilyStats(m.Specs[todo[0]])
+	if err != nil {
+		return err
+	}
+	k := m.registry.Len()
+	for _, i := range todo {
+		if len(m.Rows[i]) != k {
+			m.Rows[i] = make([]float64, k)
+		}
+	}
+	if m.registry.stdPrefix {
+		var sc blockScratch
+		if err := m.registry.fillBlockRows(rs, ts, m.Specs, todo, m.Rows, &sc); err != nil {
+			return err
+		}
+	} else {
+		for _, i := range todo {
+			if err := m.registry.vectorFromStats(m.Specs[i], rs, ts, m.Rows[i], 0); err != nil {
+				return err
+			}
+		}
+	}
+	for _, i := range todo {
+		m.Exact[i] = true
+	}
+	m.version.Add(1)
 	return nil
 }

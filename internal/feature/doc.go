@@ -8,16 +8,24 @@
 //
 // Cancellation (DESIGN.md §10): Compute and ComputePartial under a
 // cancelled context return (nil, ctx.Err()) — never a partial matrix.
-// Cancellation granularity is one view's feature row; a retry under a
-// live context is bit-identical to an uninterrupted run because the
-// single-flight caches below only ever hold completed scans.
+// Cancellation granularity is one layout block (all views sharing a
+// (dimension, bins) layout) on the standard fast path, one view's
+// feature row on the per-pair path; a retry under a live context is
+// bit-identical to an uninterrupted run because the single-flight caches
+// below only ever hold completed scans.
 //
 // Bit-identity: the matrix is a deterministic function of (table, query
 // subset, view space, registry order, α-sample); worker count never
-// changes a byte — rows are computed into disjoint slots. Rows from an
+// changes a byte — rows are computed into disjoint slots. Registries
+// whose leading features are exactly StandardRegistry's eight are filled
+// layout-block-at-a-time through internal/metric's fused kernels
+// (block.go); the per-pair path is retained for custom registries and as
+// the bit-identity oracle the block path must match exactly. Rows from an
 // α-sampled pass are flagged rough (Matrix.Exact[i] == false) and carry
 // the contract that refinement may later rewrite them in place with the
-// exact values; exact rows are final.
+// exact values (RefreshRow one view at a time, RefreshFamily one
+// aggregate family per narrow scan); exact rows are final, and every
+// refresh bumps Matrix.Version so row-derived caches can invalidate.
 //
 // Observability: computeMatrix records the warm and feature-pass phases
 // as spans plus duration histograms against the context's obs registry;

@@ -30,6 +30,14 @@ type Feature struct {
 type Registry struct {
 	feats []Feature
 	index map[string]int
+	// stdPrefix marks registries whose first eight features are exactly
+	// the standard eight of StandardRegistry, in order — the condition for
+	// the layout-block fast path (see block.go). Only StandardRegistry
+	// sets it; registries merely naming a feature "KL" do not qualify, so
+	// custom features can never be silently replaced by the block kernel.
+	// Add only appends, so registries built on top of StandardRegistry
+	// (ExtendedRegistry, AddQuadratic) keep the prefix.
+	stdPrefix bool
 }
 
 // NewRegistry returns an empty registry.
@@ -65,6 +73,7 @@ func StandardRegistry() *Registry {
 			panic(err) // unreachable: names are unique by construction
 		}
 	}
+	r.stdPrefix = true
 	return r
 }
 

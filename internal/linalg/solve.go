@@ -68,11 +68,29 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 // returns the lower-triangular L. It errors when A is not SPD within
 // numerical tolerance.
 func Cholesky(a *Matrix) (*Matrix, error) {
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := CholeskyInto(a, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto is Cholesky with a caller-owned factor: it decomposes A
+// into l (which must be square with A's dimensions), zeroing l first so a
+// reused workspace carries no stale entries. The arithmetic is exactly
+// Cholesky's, so repeated solves can recycle the factor buffer without
+// changing a single bit of the result.
+func CholeskyInto(a, l *Matrix) error {
 	n := a.Rows
 	if a.Cols != n {
-		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
-	l := NewMatrix(n, n)
+	if l.Rows != n || l.Cols != n {
+		return fmt.Errorf("linalg: Cholesky factor is %dx%d, want %dx%d", l.Rows, l.Cols, n, n)
+	}
+	for i := range l.Data {
+		l.Data[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			s := a.At(i, j)
@@ -81,7 +99,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			}
 			if i == j {
 				if s <= 0 {
-					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (%g)", i, s)
+					return fmt.Errorf("linalg: matrix not positive definite at pivot %d (%g)", i, s)
 				}
 				l.Set(i, i, math.Sqrt(s))
 			} else {
@@ -89,7 +107,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveCholesky solves A·x = b for SPD A via Cholesky: two triangular
@@ -103,8 +121,26 @@ func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
 	if len(b) != n {
 		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
 	}
-	// Forward solve L·y = b.
 	y := make([]float64, n)
+	x := make([]float64, n)
+	if err := SolveFactored(l, b, y, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveFactored finishes a Cholesky solve from an existing factor: given
+// lower-triangular L with L·Lᵀ = A, it solves A·x = b by the forward
+// solve L·y = b into the scratch y, then the back solve Lᵀ·x = y into x.
+// y and x must have the factor's dimension; b is preserved. The two
+// triangular loops are SolveCholesky's own, so a reused workspace yields
+// bit-identical solutions.
+func SolveFactored(l *Matrix, b, y, x []float64) error {
+	n := l.Rows
+	if len(b) != n || len(y) != n || len(x) != n {
+		return fmt.Errorf("linalg: solve buffers have lengths %d/%d/%d, want %d", len(b), len(y), len(x), n)
+	}
+	// Forward solve L·y = b.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -113,7 +149,6 @@ func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
 		y[i] = s / l.At(i, i)
 	}
 	// Back solve Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -121,5 +156,5 @@ func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
 		}
 		x[i] = s / l.At(i, i)
 	}
-	return x, nil
+	return nil
 }

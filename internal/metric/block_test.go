@@ -1,0 +1,193 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDistPair builds a random pair of distributions with adversarial
+// structure for the fused kernel: zero bins, exact ties, and occasional
+// all-zero histograms that exercise the uniform fallback.
+func randDistPair(rng *rand.Rand) (p, q []float64) {
+	n := 1 + rng.Intn(64)
+	rawP := make([]float64, n)
+	rawQ := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // empty bin
+		case 1: // tie: same mass both sides
+			v := rng.Float64() * 100
+			rawP[i], rawQ[i] = v, v
+		default:
+			rawP[i] = rng.Float64() * 100
+			rawQ[i] = rng.Float64() * 100
+		}
+	}
+	if rng.Intn(16) == 0 {
+		for i := range rawP {
+			rawP[i] = 0
+		}
+	}
+	if rng.Intn(16) == 0 {
+		for i := range rawQ {
+			rawQ[i] = 0
+		}
+	}
+	return Normalize(rawP), Normalize(rawQ)
+}
+
+// TestDeviationsAllMatchesScalar pins the fused kernel bit-identical to
+// the five scalar functions it replaces, across random bin counts, zero
+// patterns, and degenerate (uniform-fallback) distributions.
+func TestDeviationsAllMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	out := make([]float64, NumDeviations)
+	for trial := 0; trial < 500; trial++ {
+		p, q := randDistPair(rng)
+		if err := DeviationsAll(p, q, out); err != nil {
+			t.Fatal(err)
+		}
+		scalars := []struct {
+			name string
+			fn   func(p, q []float64) (float64, error)
+			pos  int
+		}{
+			{"KL", KLDivergence, DevKL},
+			{"EMD", EMD, DevEMD},
+			{"L1", L1, DevL1},
+			{"L2", L2, DevL2},
+			{"MaxDiff", MaxDiff, DevMaxDiff},
+		}
+		for _, s := range scalars {
+			want, err := s.fn(p, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(out[s.pos]) != math.Float64bits(want) {
+				t.Fatalf("trial %d: %s = %v (fused) vs %v (scalar), bins %d",
+					trial, s.name, out[s.pos], want, len(p))
+			}
+		}
+	}
+}
+
+// TestDeviationsAllQuick drives the same identity through testing/quick's
+// generator for raw (un-normalised, possibly negative) inputs — the fused
+// kernel must track the scalars on any same-length input, not just
+// well-formed distributions.
+func TestDeviationsAllQuick(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		p := make([]float64, len(pairs))
+		q := make([]float64, len(pairs))
+		for i, pr := range pairs {
+			p[i], q[i] = pr[0], pr[1]
+		}
+		out := make([]float64, NumDeviations)
+		if err := DeviationsAll(p, q, out); err != nil {
+			return false
+		}
+		kl, _ := KLDivergence(p, q)
+		emd, _ := EMD(p, q)
+		l1, _ := L1(p, q)
+		l2, _ := L2(p, q)
+		md, _ := MaxDiff(p, q)
+		return math.Float64bits(out[DevKL]) == math.Float64bits(kl) &&
+			math.Float64bits(out[DevEMD]) == math.Float64bits(emd) &&
+			math.Float64bits(out[DevL1]) == math.Float64bits(l1) &&
+			math.Float64bits(out[DevL2]) == math.Float64bits(l2) &&
+			math.Float64bits(out[DevMaxDiff]) == math.Float64bits(md)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationsAllErrors(t *testing.T) {
+	out := make([]float64, NumDeviations)
+	if err := DeviationsAll([]float64{1}, []float64{1, 2}, out); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := DeviationsAll(nil, nil, out); err == nil {
+		t.Error("empty distributions should fail")
+	}
+}
+
+// TestNormalizeIntoMatchesNormalize pins the buffer-reusing normalise to
+// the allocating one, including stale-buffer overwrites and the all-zero
+// uniform fallback.
+func TestNormalizeIntoMatchesNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(32)
+		bins := make([]float64, n)
+		for i := range bins {
+			switch rng.Intn(3) {
+			case 0:
+			case 1:
+				bins[i] = -rng.Float64() // negative values must zero out
+			default:
+				bins[i] = rng.Float64() * 1000
+			}
+		}
+		if rng.Intn(8) == 0 {
+			for i := range bins {
+				bins[i] = 0
+			}
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.NaN() // stale garbage must be fully overwritten
+		}
+		if err := NormalizeInto(out, bins); err != nil {
+			t.Fatal(err)
+		}
+		want := Normalize(bins)
+		for i := range want {
+			if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d bin %d: %v vs %v", trial, i, out[i], want[i])
+			}
+		}
+	}
+	if err := NormalizeInto(make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// TestPValueScoreNMatchesPValueScore pins the pre-summed form to the
+// validating one on random histograms, including impossible-bin and
+// empty-target cases.
+func TestPValueScoreNMatchesPValueScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(16)
+		counts := make([]float64, n)
+		ref := make([]float64, n)
+		total := 0.0
+		for i := range counts {
+			if rng.Intn(3) > 0 {
+				counts[i] = float64(rng.Intn(50))
+			}
+			total += counts[i]
+			if rng.Intn(4) > 0 {
+				ref[i] = rng.Float64()
+			}
+		}
+		refDist := Normalize(ref)
+		want, err := PValueScore(counts, refDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PValueScoreN(counts, total, refDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+	}
+}

@@ -15,4 +15,11 @@
 // cases (zero bins in KL via smoothing, empty distributions) by returning
 // finite values rather than NaN/Inf, so one degenerate view can never
 // poison a whole feature column.
+//
+// Block kernels: DeviationsAll computes all five deviation distances in
+// one pass over a pair, and NormalizeInto / PValueScoreN are the
+// buffer-reusing forms the layout-block feature path is built on. Each
+// replicates the exact floating-point operation sequence of its scalar
+// counterpart, so batched values are bit-identical to per-call values —
+// the per-pair functions remain the oracle, enforced by property tests.
 package metric

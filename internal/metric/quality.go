@@ -95,31 +95,5 @@ func PValueScore(targetCounts []float64, refDist []float64) (float64, error) {
 		}
 		n += c
 	}
-	if n == 0 {
-		return 0, nil // no data: nothing extreme about it
-	}
-	chi2 := 0.0
-	df := -1 // bins − 1 degrees of freedom
-	for i := range targetCounts {
-		exp := refDist[i] * n
-		if exp < epsilon {
-			// The reference says this bin is impossible; any observed mass
-			// there is maximally surprising.
-			if targetCounts[i] > 0 {
-				return 1, nil
-			}
-			continue
-		}
-		d := targetCounts[i] - exp
-		chi2 += d * d / exp
-		df++
-	}
-	if df < 1 {
-		return 0, nil
-	}
-	cdf, err := ChiSquareCDF(chi2, df)
-	if err != nil {
-		return 0, err
-	}
-	return cdf, nil // cdf = 1 − p
+	return PValueScoreN(targetCounts, n, refDist)
 }

@@ -8,12 +8,26 @@
 //
 // Determinism: training has no randomness — ridge regression solves the
 // normal equations directly and logistic regression runs a fixed
-// gradient-descent schedule from a zero initialisation — so refitting on
-// the same labelling history reproduces the same weights bit for bit.
-// Session replay (internal/store) and the selection-determinism tests
-// rest on this.
+// gradient-descent schedule from a zero initialisation (unless WarmStart
+// is explicitly enabled, which trades replay purity for convergence
+// speed; see LogisticRegression.WarmStart) — so refitting on the same
+// labelling history reproduces the same weights bit for bit. Session
+// replay (internal/store) and the selection-determinism tests rest on
+// this.
+//
+// Incremental refits: SuffStats accumulates a ridge fit's sufficient
+// statistics one labelled row at a time, and FitSufficient solves the
+// centred normal equations from them with reused O(k²) workspaces — a
+// per-label refit costs O(k²) arithmetic and at most one allocation
+// instead of rebuilding the design. Incremental and from-scratch
+// accumulation run the identical Add sequence, so they agree bit for
+// bit; FitSufficient agrees with the retained reference Fit to solver
+// tolerance (the algebra is rearranged).
 //
 // Fitting never mutates the caller's rows; scalers are fitted against the
 // full view space (not just labelled rows) by the session layer, which
 // keeps predictions stable over unlabelled views as labels accumulate.
+// Predict, Prob and the *Into scaler forms standardise into reused or
+// stack space with the same accumulation order as their allocating
+// counterparts — zero allocations, bit-identical results.
 package ml

@@ -29,6 +29,13 @@ type LinearRegression struct {
 	weights []float64 // on standardised features
 	bias    float64
 	scaler  *Scaler
+
+	// Solver workspaces reused across FitSufficient calls: the normal
+	// equations, the Cholesky factor and the triangular-solve scratch are
+	// all O(k²)/O(k) buffers whose reallocation per label would dominate a
+	// session's refit allocations (see TestRefitAllocations).
+	gram, chol          *linalg.Matrix
+	rhs, fwd, sol, zbar []float64
 }
 
 // NewLinearRegression returns an estimator with the given ridge penalty.
@@ -114,16 +121,93 @@ func (m *LinearRegression) Fit(rows [][]float64, y []float64) error {
 	return nil
 }
 
+// FitSufficient solves the same regularised, centred normal equations as
+// Fit, but from accumulated sufficient statistics instead of labelled
+// rows: G = Sxx − n·z̄·z̄ᵀ + λI and rhs = Sxy − Sy·z̄ over the
+// standardised feature space the statistics were collected in. It
+// requires ExternalScaler (the statistics are meaningless without the
+// scaler that produced their z rows) and at least one absorbed label.
+// All solver buffers are reused across calls, so a per-label refit costs
+// O(k²) arithmetic and no steady-state allocations. Fit remains the
+// reference implementation; FitSufficient agrees with it to solver
+// tolerance (the algebra is rearranged), and with itself exactly: the
+// same statistics always produce bit-identical weights.
+func (m *LinearRegression) FitSufficient(s *SuffStats) error {
+	if s == nil || s.N == 0 {
+		return fmt.Errorf("ml: linear regression needs at least one labelled row")
+	}
+	if m.ExternalScaler == nil {
+		return fmt.Errorf("ml: FitSufficient requires ExternalScaler (statistics are bound to a scaler)")
+	}
+	k := s.K
+	if m.gram == nil || m.gram.Rows != k {
+		m.gram = linalg.NewMatrix(k, k)
+		m.chol = linalg.NewMatrix(k, k)
+		m.rhs = make([]float64, k)
+		m.fwd = make([]float64, k)
+		m.sol = make([]float64, k)
+		m.zbar = make([]float64, k)
+	}
+	n := float64(s.N)
+	yMean := s.Sy / n
+	for j := 0; j < k; j++ {
+		m.zbar[j] = s.Sx[j] / n
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 0
+	}
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			g := s.Sxx.At(i, j) - n*m.zbar[i]*m.zbar[j]
+			if i == j {
+				g += lambda
+			}
+			m.gram.Set(i, j, g)
+			m.gram.Set(j, i, g)
+		}
+		m.rhs[i] = s.Sxy[i] - s.Sy*m.zbar[i]
+	}
+	if err := linalg.CholeskyInto(m.gram, m.chol); err != nil {
+		// Rank-deficient and unregularised: the same jittered fallback as
+		// Fit, so early-session refits always produce some estimator.
+		for i := 0; i < k; i++ {
+			m.gram.Add(i, i, 1e-9)
+		}
+		w, err := linalg.Solve(m.gram, m.rhs)
+		if err != nil {
+			return fmt.Errorf("ml: fitting linear regression: %w", err)
+		}
+		copy(m.sol, w)
+	} else if err := linalg.SolveFactored(m.chol, m.rhs, m.fwd, m.sol); err != nil {
+		return fmt.Errorf("ml: fitting linear regression: %w", err)
+	}
+	if len(m.weights) != k {
+		m.weights = make([]float64, k)
+	}
+	copy(m.weights, m.sol)
+	m.bias = yMean - linalg.Dot(m.weights, m.zbar)
+	m.scaler = m.ExternalScaler
+	return nil
+}
+
 // Fitted reports whether Fit has succeeded at least once.
 func (m *LinearRegression) Fitted() bool { return m.scaler != nil }
 
 // Predict returns ŷ for one feature row. Calling Predict before Fit
-// returns 0.
+// returns 0. It standardises inline — no per-call allocation — with the
+// same accumulation order as Dot over a Transformed copy, so predictions
+// are bit-identical to the allocating form.
 func (m *LinearRegression) Predict(row []float64) float64 {
 	if m.scaler == nil {
 		return 0
 	}
-	return m.bias + linalg.Dot(m.weights, m.scaler.Transform(row))
+	mean, std := m.scaler.Mean, m.scaler.Std
+	s := 0.0
+	for j, w := range m.weights {
+		s += w * ((row[j] - mean[j]) / std[j])
+	}
+	return m.bias + s
 }
 
 // PredictAll returns predictions for every row.

@@ -25,10 +25,25 @@ type LogisticRegression struct {
 	// (see ml.LinearRegression.ExternalScaler for why transductive callers
 	// want whole-space statistics).
 	ExternalScaler *Scaler
+	// WarmStart seeds each Fit's gradient descent from the previously
+	// fitted weights instead of zero. With a near-convex objective and one
+	// new label per retrain, the previous optimum is a few steps from the
+	// new one, so warm-started fits converge in far fewer epochs. The
+	// mechanism is fully deterministic — identical previous state and data
+	// give identical results — but it makes Fit depend on the model's own
+	// history, so callers whose outputs must be reproducible from inputs
+	// alone (session replay) either keep it off or confine it to within
+	// one call's lifetime (see active.Committee).
+	WarmStart bool
 
 	weights []float64
 	bias    float64
 	scaler  *Scaler
+
+	// stdBuf is the reused standardisation buffer (see TransformAllInto);
+	// epochsRun records the last Fit's epoch count for observability.
+	stdBuf    [][]float64
+	epochsRun int
 }
 
 // NewLogisticRegression returns a classifier with library defaults.
@@ -85,12 +100,18 @@ func (m *LogisticRegression) Fit(rows [][]float64, y []float64) error {
 			return err
 		}
 	}
-	std := scaler.TransformAll(rows)
+	m.stdBuf = scaler.TransformAllInto(rows, m.stdBuf)
+	std := m.stdBuf
 	k := len(std[0])
 	w := make([]float64, k)
 	b := 0.0
+	if m.WarmStart && len(m.weights) == k {
+		copy(w, m.weights)
+		b = m.bias
+	}
 	n := float64(len(std))
 	grad := make([]float64, k)
+	epochsRun := 0
 	for epoch := 0; epoch < epochs; epoch++ {
 		for j := range grad {
 			grad[j] = 0
@@ -112,6 +133,7 @@ func (m *LogisticRegression) Fit(rows [][]float64, y []float64) error {
 			}
 		}
 		b -= lr * gb / n
+		epochsRun++
 		if maxStep < tol && math.Abs(lr*gb/n) < tol {
 			break
 		}
@@ -119,20 +141,47 @@ func (m *LogisticRegression) Fit(rows [][]float64, y []float64) error {
 	m.weights = w
 	m.bias = b
 	m.scaler = scaler
+	m.epochsRun = epochsRun
 	return nil
 }
+
+// SeedFrom copies another model's fitted weights in as this model's
+// warm-start seed: the next Fit with WarmStart set starts its descent from
+// o's optimum instead of zero. It does not make the model fitted — Prob
+// still returns 0.5 until Fit runs — and it is how active.Committee chains
+// bootstrap members within one selection without sharing model state
+// across calls. A nil or unfitted o is a no-op.
+func (m *LogisticRegression) SeedFrom(o *LogisticRegression) {
+	if o == nil || len(o.weights) == 0 {
+		return
+	}
+	m.weights = append(m.weights[:0], o.weights...)
+	m.bias = o.bias
+}
+
+// EpochsRun returns the number of full-batch passes the last Fit took —
+// the observable effect of warm starting (a warm fit near the previous
+// optimum converges in a handful of epochs).
+func (m *LogisticRegression) EpochsRun() int { return m.epochsRun }
 
 // Fitted reports whether Fit has succeeded at least once.
 func (m *LogisticRegression) Fitted() bool { return m.scaler != nil }
 
 // Prob returns p(y=1|x). Before Fit it returns 0.5 — maximal uncertainty,
 // which makes an untrained uncertainty estimator equivalent to random
-// selection.
+// selection. Like LinearRegression.Predict it standardises inline with
+// Dot's accumulation order, so it allocates nothing and matches the
+// allocating form bit for bit.
 func (m *LogisticRegression) Prob(row []float64) float64 {
 	if m.scaler == nil {
 		return 0.5
 	}
-	return sigmoid(m.bias + linalg.Dot(m.weights, m.scaler.Transform(row)))
+	mean, std := m.scaler.Mean, m.scaler.Std
+	s := 0.0
+	for j, w := range m.weights {
+		s += w * ((row[j] - mean[j]) / std[j])
+	}
+	return sigmoid(m.bias + s)
 }
 
 // Uncertainty returns the least-confidence score of Eq. 6:

@@ -55,17 +55,40 @@ func FitScaler(rows [][]float64) (*Scaler, error) {
 // Transform returns the standardised copy of one row.
 func (s *Scaler) Transform(row []float64) []float64 {
 	out := make([]float64, len(row))
+	s.TransformInto(row, out)
+	return out
+}
+
+// TransformInto standardises one row into a caller-owned buffer of the
+// same length, allocating nothing. The arithmetic is Transform's own.
+func (s *Scaler) TransformInto(row, out []float64) {
 	for j, v := range row {
 		out[j] = (v - s.Mean[j]) / s.Std[j]
 	}
-	return out
 }
 
 // TransformAll standardises every row.
 func (s *Scaler) TransformAll(rows [][]float64) [][]float64 {
-	out := make([][]float64, len(rows))
-	for i, r := range rows {
-		out[i] = s.Transform(r)
+	return s.TransformAllInto(rows, nil)
+}
+
+// TransformAllInto standardises every row, reusing the buffer's row
+// slices where they are already the right length — the refit hot path
+// passes the previous iteration's buffer back in, so a session's
+// per-label retrains stop allocating one slice per row per fit. The
+// returned slice is the (possibly regrown) buffer.
+func (s *Scaler) TransformAllInto(rows, buf [][]float64) [][]float64 {
+	if cap(buf) < len(rows) {
+		grown := make([][]float64, len(rows))
+		copy(grown, buf[:cap(buf)])
+		buf = grown
 	}
-	return out
+	buf = buf[:len(rows)]
+	for i, r := range rows {
+		if len(buf[i]) != len(r) {
+			buf[i] = make([]float64, len(r))
+		}
+		s.TransformInto(r, buf[i])
+	}
+	return buf
 }

@@ -1,0 +1,62 @@
+package ml
+
+import (
+	"fmt"
+
+	"viewseeker/internal/linalg"
+)
+
+// SuffStats accumulates the sufficient statistics of a ridge regression in
+// standardised feature space: the label count, per-feature sums Σz and
+// Σy·z, the label sum Σy, and the upper triangle of the second-moment
+// matrix Σz·zᵀ. One labelled row enters as a rank-1 update (Add), after
+// which LinearRegression.FitSufficient solves the centred normal equations
+// without ever rebuilding a design matrix — the per-label refit cost
+// becomes O(k²) instead of O(n·k²).
+//
+// Determinism contract: an incremental session (Add per label as it
+// arrives) holds exactly the same statistics as a from-scratch pass that
+// Adds the same standardised rows in the same order — Add is the only
+// accumulation path, so the floating-point op sequence is identical and
+// session replay reproduces fits bit for bit. Statistics are tied to the
+// scaler that produced the z rows: if the standardisation changes (the
+// feature matrix was refreshed), the statistics must be rebuilt.
+type SuffStats struct {
+	K int // feature dimension
+	N int // rows absorbed
+
+	Sy  float64   // Σy
+	Sx  []float64 // Σz, per feature
+	Sxy []float64 // Σy·z, per feature
+	// Sxx is Σz·zᵀ, upper triangle only (j ≥ i); the lower triangle is
+	// implied by symmetry and never written.
+	Sxx *linalg.Matrix
+}
+
+// NewSuffStats returns empty statistics for k features.
+func NewSuffStats(k int) *SuffStats {
+	return &SuffStats{
+		K:   k,
+		Sx:  make([]float64, k),
+		Sxy: make([]float64, k),
+		Sxx: linalg.NewMatrix(k, k),
+	}
+}
+
+// Add absorbs one standardised row z with label y as a rank-1 update.
+func (s *SuffStats) Add(z []float64, y float64) error {
+	if len(z) != s.K {
+		return fmt.Errorf("ml: sufficient-statistics row has %d features, want %d", len(z), s.K)
+	}
+	for i, zi := range z {
+		s.Sx[i] += zi
+		s.Sxy[i] += y * zi
+		row := s.Sxx.Data[i*s.K:]
+		for j := i; j < s.K; j++ {
+			row[j] += zi * z[j]
+		}
+	}
+	s.Sy += y
+	s.N++
+	return nil
+}

@@ -16,7 +16,10 @@
 // Cancellation (DESIGN.md §10): RefineCtx returns the number of rows
 // refreshed so far together with ctx.Err(); refreshed rows stay exact and
 // a later call resumes where it stopped. Callers treat cancellation as an
-// exhausted budget, not a failure.
+// exhausted budget, not a failure. Granularity is one layout-family scan:
+// rows of a batch sharing a (dimension, bins, measure) family refresh
+// together through Matrix.RefreshFamily, and with Workers = 1 every
+// family is a single row — the sequential one-row contract is unchanged.
 //
 // Observability: RefineCtx records a "feedback.refine" span plus
 // refreshed-row and latency metrics against the context's obs registry,

@@ -22,8 +22,10 @@ type Refiner struct {
 	// least this many rows are refreshed per Refine call while any remain
 	// (default 1).
 	MinPerCall int
-	// Workers bounds how many rows refresh concurrently per batch: the
-	// narrow scans behind RefreshRow are independent, so fanning them out
+	// Workers bounds how many rows a batch holds and how many of its
+	// family groups refresh concurrently: rows over the same (dimension,
+	// bins, measure) share one narrow scan via RefreshFamily, and the
+	// scans of distinct families are independent, so fanning them out
 	// hides more exact recomputation inside the same latency budget. ≤ 0
 	// selects runtime.NumCPU(); 1 refreshes strictly sequentially (the
 	// pre-parallel behaviour, also required when custom utility features
@@ -55,11 +57,12 @@ func (r *Refiner) Refine(priority []int, budget time.Duration) (int, error) {
 }
 
 // RefineCtx is Refine under a context: cancellation is honoured like an
-// expired budget, checked between batches and between rows inside a batch
-// (via par.ForEachCtx), so a cancelled call returns within one row per
-// worker. Rows already refreshed stay refreshed — refinement is
-// monotonic, so stopping early is always safe — and the context's error is
-// returned alongside the count.
+// expired budget, checked between batches and between family groups inside
+// a batch (via par.ForEachCtx), so a cancelled call returns within one
+// layout-family scan per worker — with Workers = 1 every group is a single
+// row, preserving the sequential one-row granularity. Rows already
+// refreshed stay refreshed — refinement is monotonic, so stopping early is
+// always safe — and the context's error is returned alongside the count.
 func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Duration) (refreshed int, err error) {
 	if r.Matrix == nil {
 		return 0, fmt.Errorf("optimize: refiner has no matrix")
@@ -122,13 +125,22 @@ func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Dur
 		if err := ctx.Err(); err != nil {
 			return refreshed, err
 		}
-		b := batch
-		if err := par.ForEachCtx(ctx, len(b), workers, func(j int) error {
-			if err := r.Matrix.RefreshRow(b[j]); err != nil {
+		// Rows over the same aggregate family — identical (dimension, bins,
+		// measure) — come from one narrow scan, so the batch fans out over
+		// family groups rather than individual rows: RefreshFamily upgrades
+		// each group in a single stats pass, and refinePriority's habit of
+		// queueing siblings together means a batch often collapses to a
+		// handful of scans.
+		families := groupFamilies(r.Matrix, batch)
+		if err := par.ForEachCtx(ctx, len(families), workers, func(j int) error {
+			g := families[j]
+			if err := r.Matrix.RefreshFamily(g); err != nil {
 				return err
 			}
 			if r.OnRow != nil {
-				r.OnRow(b[j])
+				for _, i := range g {
+					r.OnRow(i)
+				}
 			}
 			return nil
 		}); err != nil {
@@ -137,4 +149,31 @@ func (r *Refiner) RefineCtx(ctx context.Context, priority []int, budget time.Dur
 		refreshed += len(batch)
 	}
 	return refreshed, nil
+}
+
+// famKey identifies an aggregate family: views sharing it differ only in
+// their aggregate function and are computed from the same narrow scan.
+type famKey struct {
+	dim, measure string
+	bins         int
+}
+
+// groupFamilies partitions batch indices into family groups, preserving
+// first-seen order so priority order survives the grouping.
+func groupFamilies(m *feature.Matrix, idxs []int) [][]int {
+	order := make([]famKey, 0, len(idxs))
+	groups := make(map[famKey][]int, len(idxs))
+	for _, i := range idxs {
+		s := m.Specs[i]
+		k := famKey{dim: s.Dimension, measure: s.Measure, bins: s.Bins}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([][]int, len(order))
+	for j, k := range order {
+		out[j] = groups[k]
+	}
+	return out
 }

@@ -721,15 +721,70 @@ func CollectStatsReference(t *dataset.Table, layout *BinLayout, measures []strin
 	return s, nil
 }
 
-// Histogram extracts the (measure, agg) view from collected statistics.
-func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
-	mi := -1
+// MeasureIndex returns the position of measure in s.Measures, or -1.
+func (s *Stats) MeasureIndex(measure string) int {
 	for i, m := range s.Measures {
 		if m == measure {
-			mi = i
-			break
+			return i
 		}
 	}
+	return -1
+}
+
+// ValuesInto writes the aggregate bar heights of (measure index mi, agg)
+// into out — exactly the Values slice Histogram would build, without
+// materialising the Histogram. len(out) must equal the layout's bin
+// count. Empty bins are written as 0 (out is fully overwritten, so a
+// reused scratch buffer carries no stale values). The per-bin aggregate
+// expressions are Histogram's own, so the two stay bit-identical; the agg
+// switch is hoisted out of the bin loop.
+func (s *Stats) ValuesInto(mi int, agg string, out []float64) error {
+	if mi < 0 || mi >= len(s.Measures) {
+		return fmt.Errorf("view: measure index %d out of range (%d measures)", mi, len(s.Measures))
+	}
+	nb := s.Layout.NumBins()
+	if len(out) != nb {
+		return fmt.Errorf("view: values buffer has %d bins, layout has %d", len(out), nb)
+	}
+	base := mi * nb
+	counts := s.Counts[base : base+nb]
+	var src []float64
+	switch agg {
+	case "COUNT":
+		copy(out, counts)
+		return nil
+	case "SUM":
+		src = s.Sums[base : base+nb]
+	case "AVG":
+		sums := s.Sums[base : base+nb]
+		for b := 0; b < nb; b++ {
+			if c := counts[b]; c == 0 {
+				out[b] = 0
+			} else {
+				out[b] = sums[b] / c
+			}
+		}
+		return nil
+	case "MIN":
+		src = s.Mins[base : base+nb]
+	case "MAX":
+		src = s.Maxs[base : base+nb]
+	default:
+		return fmt.Errorf("view: unknown aggregate %q", agg)
+	}
+	for b := 0; b < nb; b++ {
+		if counts[b] == 0 {
+			out[b] = 0
+		} else {
+			out[b] = src[b]
+		}
+	}
+	return nil
+}
+
+// Histogram extracts the (measure, agg) view from collected statistics.
+func (s *Stats) Histogram(measure, agg string) (*Histogram, error) {
+	mi := s.MeasureIndex(measure)
 	if mi < 0 {
 		return nil, fmt.Errorf("view: stats have no measure %q", measure)
 	}

@@ -275,10 +275,26 @@ func (g *Generator) Pair(s Spec) (*Pair, error) {
 // costs one narrow scan: the optimisation's pruning claim is about
 // per-view work, and a full-layout scan would amortise it away.
 func (g *Generator) PairFocused(s Spec) (*Pair, error) {
+	rs, ts, err := g.FamilyStats(s)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePair(s, rs, ts)
+}
+
+// FamilyStats returns the full-data reference and target statistics
+// backing the spec's (dimension, bins, measure) family, with PairFocused's
+// cost model: an already-cached all-measures layout scan is reused, and
+// otherwise only the spec's own measure is scanned. The returned Stats
+// answer every aggregate of that family — block refresh uses this to
+// upgrade a whole family of rough views on one narrow scan. The Stats may
+// carry either all measures or just the spec's (locate it with
+// MeasureIndex); they are cache-shared and must not be mutated.
+func (g *Generator) FamilyStats(s Spec) (refStats, tgtStats *Stats, err error) {
 	k := layoutKey{s.Dimension, s.Bins}
 	layout, ok := g.layouts[k]
 	if !ok {
-		return nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
+		return nil, nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
 	}
 	statsOf := func(t *dataset.Table, full *lazyCache[layoutKey, *Stats], focused *lazyCache[measureKey, *Stats], binCache *lazyCache[string, [][]int32]) (*Stats, error) {
 		if st, ok := full.peek(k); ok {
@@ -293,15 +309,32 @@ func (g *Generator) PairFocused(s Spec) (*Pair, error) {
 			return CollectStatsIndexed(t, layout, []string{s.Measure}, bins)
 		})
 	}
-	rs, err := statsOf(g.Ref, &g.refStats, &g.refFocused, &g.refBins)
-	if err != nil {
-		return nil, err
+	if refStats, err = statsOf(g.Ref, &g.refStats, &g.refFocused, &g.refBins); err != nil {
+		return nil, nil, err
 	}
-	ts, err := statsOf(g.Target, &g.tgtStats, &g.tgtFocused, &g.tgtBins)
-	if err != nil {
-		return nil, err
+	if tgtStats, err = statsOf(g.Target, &g.tgtStats, &g.tgtFocused, &g.tgtBins); err != nil {
+		return nil, nil, err
 	}
-	return assemblePair(s, rs, ts)
+	return refStats, tgtStats, nil
+}
+
+// LayoutStats returns the full-data all-measures statistics of the spec's
+// (dimension, bins) layout for both tables, scanning and caching on first
+// use — the layout-block entry point the batched feature kernels consume
+// directly, bypassing per-pair Histogram materialisation. The Stats are
+// cache-shared and must not be mutated.
+func (g *Generator) LayoutStats(s Spec) (refStats, tgtStats *Stats, err error) {
+	k := layoutKey{s.Dimension, s.Bins}
+	if _, ok := g.layouts[k]; !ok {
+		return nil, nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
+	}
+	if refStats, err = g.statsFor(g.Ref, &g.refStats, k, nil); err != nil {
+		return nil, nil, err
+	}
+	if tgtStats, err = g.statsFor(g.Target, &g.tgtStats, k, nil); err != nil {
+		return nil, nil, err
+	}
+	return refStats, tgtStats, nil
 }
 
 // SampledRun scopes one α-sample pass over the generator's tables: it
@@ -324,6 +357,23 @@ func (g *Generator) NewSampledRun(refRows, tgtRows []int) *SampledRun {
 // Pair executes one view spec over the run's samples.
 func (r *SampledRun) Pair(s Spec) (*Pair, error) {
 	return r.g.pair(s, &r.refStats, &r.tgtStats, r.refRows, r.tgtRows)
+}
+
+// LayoutStats returns the run's sampled all-measures statistics of the
+// spec's (dimension, bins) layout for both tables — Generator.LayoutStats
+// over the run's row samples, with the same sharing contract.
+func (r *SampledRun) LayoutStats(s Spec) (refStats, tgtStats *Stats, err error) {
+	k := layoutKey{s.Dimension, s.Bins}
+	if _, ok := r.g.layouts[k]; !ok {
+		return nil, nil, fmt.Errorf("view: spec %s is outside the enumerated space", s)
+	}
+	if refStats, err = r.g.statsFor(r.g.Ref, &r.refStats, k, r.refRows); err != nil {
+		return nil, nil, err
+	}
+	if tgtStats, err = r.g.statsFor(r.g.Target, &r.tgtStats, k, r.tgtRows); err != nil {
+		return nil, nil, err
+	}
+	return refStats, tgtStats, nil
 }
 
 // Warm pre-scans every layout's sampled statistics for both tables over a
