@@ -34,6 +34,15 @@ type appendResult struct {
 	// query, generator, full feature pass over the grown table.
 	RebuildNs int64   `json:"full_rebuild_ns"`
 	Speedup   float64 `json:"delta_vs_rebuild_speedup"`
+	// Recovery: reopen the live table from its WAL — once replaying the
+	// full append history, once after a checkpoint compacted the log down
+	// to a one-batch suffix. The second number is what a restart pays
+	// regardless of how much history the table has accumulated.
+	RecoveryHistoryBatches int   `json:"recovery_history_batches"`
+	RecoveryFullReplayNs   int64 `json:"recovery_full_replay_ns"`
+	RecoveryFullBatches    int   `json:"recovery_full_replayed_batches"`
+	RecoveryCheckpointNs   int64 `json:"recovery_checkpoint_ns"`
+	RecoveryCkptBatches    int   `json:"recovery_checkpoint_replayed_batches"`
 }
 
 // appendReport is the BENCH_append.json document.
@@ -52,10 +61,12 @@ type appendReport struct {
 // pin, enforced here on the actual benchmark tables.
 func benchAppend(scales []int, pct float64, out string) {
 	rep := appendReport{
-		SchemaVersion: 1,
-		Description: "Live-table append path on SYN: durable WAL append throughput, and " +
+		SchemaVersion: 2,
+		Description: "Live-table append path on SYN: durable WAL append throughput, " +
 			"incremental view maintenance (Maintained.Advance) vs a full offline " +
-			"recompute after appending " + fmt.Sprintf("%g%%", pct*100) + " of the rows.",
+			"recompute after appending " + fmt.Sprintf("%g%%", pct*100) + " of the rows, " +
+			"and restart recovery time replaying the full append history vs reopening " +
+			"from a checkpoint snapshot with a compacted log.",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -127,8 +138,8 @@ func benchAppendScale(rows int, pct float64) appendResult {
 		if err != nil || !changed {
 			log.Fatalf("bench: Advance: changed %v err %v", changed, err)
 		}
-		if ext, reb := m.Stats(); ext != 1 || reb != 0 {
-			log.Fatalf("bench: Advance fell back to a rebuild (extended %d rebuilt %d) — nothing incremental to measure", ext, reb)
+		if st := m.Stats(); st.Extended != 1 || st.Rebuilt != 0 {
+			log.Fatalf("bench: Advance fell back to a rebuild (extended %d rebuilt %d) — nothing incremental to measure", st.Extended, st.Rebuilt)
 		}
 
 		// The non-incremental contender: full offline pass over the grown
@@ -156,10 +167,96 @@ func benchAppendScale(rows int, pct float64) appendResult {
 	if res.DeltaNs > 0 {
 		res.Speedup = round2(float64(res.RebuildNs) / float64(res.DeltaNs))
 	}
+	benchRecovery(dir, base, batch, &res)
 	fmt.Fprintf(os.Stderr,
 		"  wal_append %12d ns (%10.0f rows/s)  delta %12d ns  rebuild %12d ns  speedup %.1fx\n",
 		res.WalAppendNs, res.WalAppendRowsSec, res.DeltaNs, res.RebuildNs, res.Speedup)
+	fmt.Fprintf(os.Stderr,
+		"  recovery   %12d ns replaying %d batches  vs %12d ns from checkpoint (%d-batch suffix)\n",
+		res.RecoveryFullReplayNs, res.RecoveryFullBatches,
+		res.RecoveryCheckpointNs, res.RecoveryCkptBatches)
 	return res
+}
+
+// recoveryHistoryBatches is how many append batches the recovery
+// measurement accumulates before reopening. Full replay publishes a
+// version per batch, so its cost grows linearly with this count, while
+// the post-checkpoint reopen pays one snapshot load however deep the
+// history — 64 batches puts the crossover well behind us at every scale.
+const recoveryHistoryBatches = 64
+
+// benchRecovery measures restart cost. It grows a live table by
+// recoveryHistoryBatches WAL'd appends and times a reopen that replays all
+// of them; then it checkpoints (snapshot + log compaction), appends one
+// more batch, and times the reopen again — now a snapshot load plus a
+// one-batch suffix, however long the history was. Best of three reopens
+// each, and both recoveries are checked to land on the right row count.
+func benchRecovery(dir string, base *dataset.Table, batch [][]dataset.Value, res *appendResult) {
+	path := filepath.Join(dir, "recovery.wal")
+	lt, _, err := viewseeker.OpenLiveTable(path, base, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	per := len(batch) / recoveryHistoryBatches
+	if per < 1 {
+		per = 1
+	}
+	history := 0
+	for at := 0; at < len(batch); at += per {
+		end := at + per
+		if end > len(batch) {
+			end = len(batch)
+		}
+		if _, err := lt.Append(batch[at:end]); err != nil {
+			log.Fatal(err)
+		}
+		history++
+	}
+	if err := lt.Close(); err != nil {
+		log.Fatal(err)
+	}
+	res.RecoveryHistoryBatches = history
+	wantRows := base.NumRows() + len(batch)
+
+	reopen := func(wantBatches, wantRows int) int64 {
+		best := int64(math.MaxInt64)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			lt, rec, err := viewseeker.OpenLiveTable(path, base, 1)
+			elapsed := time.Since(start).Nanoseconds()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(rec.Batches) != wantBatches || lt.Current().NumRows() != wantRows {
+				log.Fatalf("bench: recovery replayed %d batches to %d rows, want %d batches to %d rows",
+					len(rec.Batches), lt.Current().NumRows(), wantBatches, wantRows)
+			}
+			lt.Close()
+			best = min64(best, elapsed)
+		}
+		return best
+	}
+
+	res.RecoveryFullBatches = history
+	res.RecoveryFullReplayNs = reopen(history, wantRows)
+
+	// Checkpoint the full history away, then append one more batch so the
+	// post-compaction restart still has a (bounded) suffix to replay.
+	lt, _, err = viewseeker.OpenLiveTable(path, base, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if seq, err := lt.Checkpoint(); err != nil || seq != uint64(history) {
+		log.Fatalf("bench: checkpoint: seq %d err %v", seq, err)
+	}
+	if _, err := lt.Append(batch[:per]); err != nil {
+		log.Fatal(err)
+	}
+	if err := lt.Close(); err != nil {
+		log.Fatal(err)
+	}
+	res.RecoveryCkptBatches = 1
+	res.RecoveryCheckpointNs = reopen(1, wantRows+per)
 }
 
 // verifyAppendIdentity refuses to benchmark a delta path that diverges
@@ -229,7 +326,10 @@ func min64(a, b int64) int64 {
 
 // checkAppendReport validates a tracked BENCH_append.json: it must parse
 // and carry the SYN 200k entry with the acceptance-level speedup — delta
-// maintenance at least 5× faster than a full rebuild for a 1% append.
+// maintenance at least 5× faster than a full rebuild for a 1% append —
+// plus the bounded-recovery evidence: a post-checkpoint reopen replays a
+// one-batch suffix (not the full history) and costs less than the full
+// replay did.
 func checkAppendReport(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -239,8 +339,8 @@ func checkAppendReport(path string) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		log.Fatalf("bench: -check-append %s: %v", path, err)
 	}
-	if rep.SchemaVersion != 1 {
-		log.Fatalf("bench: -check-append %s: schema_version = %d, want 1", path, rep.SchemaVersion)
+	if rep.SchemaVersion != 2 {
+		log.Fatalf("bench: -check-append %s: schema_version = %d, want 2", path, rep.SchemaVersion)
 	}
 	for _, r := range rep.Results {
 		if r.Rows == 200000 {
@@ -250,8 +350,19 @@ func checkAppendReport(path string) {
 			if r.Speedup < 5 {
 				log.Fatalf("bench: -check-append %s: SYN 200k delta speedup %.2fx < 5x", path, r.Speedup)
 			}
-			fmt.Fprintf(os.Stderr, "bench: -check-append %s: SYN 200k entry ok (%.1fx delta speedup, %.0f rows/s durable append)\n",
-				path, r.Speedup, r.WalAppendRowsSec)
+			if r.RecoveryFullReplayNs <= 0 || r.RecoveryCheckpointNs <= 0 {
+				log.Fatalf("bench: -check-append %s: SYN 200k entry has non-positive recovery timings: %+v", path, r)
+			}
+			if r.RecoveryFullBatches < recoveryHistoryBatches || r.RecoveryCkptBatches > 1 {
+				log.Fatalf("bench: -check-append %s: SYN 200k recovery replayed %d full / %d post-checkpoint batches — compaction did not bound the suffix",
+					path, r.RecoveryFullBatches, r.RecoveryCkptBatches)
+			}
+			if r.RecoveryCheckpointNs >= r.RecoveryFullReplayNs {
+				log.Fatalf("bench: -check-append %s: SYN 200k post-checkpoint recovery (%d ns) is not cheaper than full replay (%d ns)",
+					path, r.RecoveryCheckpointNs, r.RecoveryFullReplayNs)
+			}
+			fmt.Fprintf(os.Stderr, "bench: -check-append %s: SYN 200k entry ok (%.1fx delta speedup, %.0f rows/s durable append, recovery %d ns from checkpoint vs %d ns full replay)\n",
+				path, r.Speedup, r.WalAppendRowsSec, r.RecoveryCheckpointNs, r.RecoveryFullReplayNs)
 			return
 		}
 	}

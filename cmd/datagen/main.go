@@ -6,6 +6,11 @@
 // equal append batches (<out>.batch1.csv … <out>.batchN.csv), the input
 // shape for exercising the live-table append path: serve the base with
 // -wal-dir and feed the batches to POST /api/tables/{name}/append.
+//
+// With -drift D each batch K additionally has every numeric cell offset
+// by K*D — a distribution-shifted append stream whose values progressively
+// escape bin layouts fitted to the base, for exercising drift-triggered
+// rebuilds (viewseeker.Options.DriftThreshold).
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "generator seed (0 = the dataset's default)")
 		out     = flag.String("out", "", "output CSV path (default <dataset>.csv)")
 		batches = flag.Int("append-batches", 0, "split the rows into a base CSV plus this many append-batch CSVs (<out>.batchK.csv), for replaying through the live-table append API")
+		drift   = flag.Float64("drift", 0, "offset every numeric cell of append batch K by K times this value, simulating distribution drift (requires -append-batches)")
 	)
 	flag.Parse()
 	var t *dataset.Table
@@ -63,8 +69,12 @@ func main() {
 	if path == "" {
 		path = *name + ".csv"
 	}
+	if *drift != 0 && *batches <= 0 {
+		fmt.Fprintln(os.Stderr, "datagen: -drift requires -append-batches")
+		os.Exit(1)
+	}
 	if *batches > 0 {
-		writeAppendBatches(t, path, *batches)
+		writeAppendBatches(t, path, *batches, *drift)
 		return
 	}
 	if err := dataset.WriteCSVWithSchema(t, path); err != nil {
@@ -79,8 +89,8 @@ func main() {
 // writeAppendBatches splits the table into a base CSV plus n append-batch
 // CSVs. The batches together hold the last tenth of the rows, split
 // evenly — large base, small appends, the shape incremental maintenance
-// is built for.
-func writeAppendBatches(t *dataset.Table, path string, n int) {
+// is built for. A non-zero drift offsets batch K's numeric cells by K*drift.
+func writeAppendBatches(t *dataset.Table, path string, n int, drift float64) {
 	per := t.NumRows() / (10 * n)
 	if per < 1 {
 		fmt.Fprintf(os.Stderr, "datagen: %d rows cannot fill %d append batches (need at least %d rows)\n",
@@ -100,9 +110,41 @@ func writeAppendBatches(t *dataset.Table, path string, n int) {
 	for k := 1; k <= n; k++ {
 		from := baseRows + (k-1)*per
 		p := fmt.Sprintf("%s.batch%d.csv", stem, k)
-		write(t.Subset(t.Name, seq(from, from+per)), p)
-		fmt.Printf("wrote batch %s: %d rows\n", p, per)
+		sub := t.Subset(t.Name, seq(from, from+per))
+		if drift != 0 {
+			sub = shiftNumeric(sub, float64(k)*drift)
+		}
+		write(sub, p)
+		if drift != 0 {
+			fmt.Printf("wrote batch %s: %d rows (numeric cells shifted by %+g)\n", p, per, float64(k)*drift)
+		} else {
+			fmt.Printf("wrote batch %s: %d rows\n", p, per)
+		}
 	}
+}
+
+// shiftNumeric returns a copy of t with every non-null numeric cell offset
+// by delta, preserving column kinds (int columns round toward zero).
+func shiftNumeric(t *dataset.Table, delta float64) *dataset.Table {
+	out := dataset.NewTable(t.Name, t.Schema)
+	for r := 0; r < t.NumRows(); r++ {
+		vals := t.Row(r)
+		for j, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			switch v.Kind {
+			case dataset.KindFloat:
+				f, _ := v.AsFloat()
+				vals[j] = dataset.Float(f + delta)
+			case dataset.KindInt:
+				i, _ := v.AsInt()
+				vals[j] = dataset.Int(i + int64(delta))
+			}
+		}
+		out.MustAppendRow(vals...)
+	}
+	return out
 }
 
 func seq(from, to int) []int {

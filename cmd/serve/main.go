@@ -57,6 +57,7 @@ func main() {
 		traceLog   = flag.String("trace-log", "", "append every completed phase trace as one JSON line to this file (empty = traces only in the in-memory ring at /debug/vars)")
 		walDir     = flag.String("wal-dir", "", "host every table as a live (appendable) table, write-ahead-logged under this directory as <name>.wal; POST /api/tables/{name}/append grows a table, a restart with the same tables and directory replays committed appends")
 		syncEvery  = flag.Int("wal-sync-every", 1, "fsync the WAL once per this many append batches (1 = every batch; higher trades a bounded durability window for append throughput)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "auto-checkpoint a live table whenever its WAL reaches this many bytes: the current version is snapshotted and the log compacted, bounding restart replay (0 = manual checkpoints only via POST /api/tables/{name}/checkpoint)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -117,7 +118,8 @@ func main() {
 			os.Exit(1)
 		}
 		for _, t := range tables {
-			lt, rec, err := viewseeker.OpenLiveTable(filepath.Join(*walDir, t.Name+".wal"), t, *syncEvery)
+			lt, rec, err := viewseeker.OpenLiveTableOptions(filepath.Join(*walDir, t.Name+".wal"), t,
+				viewseeker.LiveOptions{SyncEvery: *syncEvery, CheckpointBytes: *ckptBytes})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "serve: opening WAL for %q: %v\n", t.Name, err)
 				os.Exit(1)
@@ -126,6 +128,10 @@ func main() {
 			if rec.LastSeq > 0 {
 				fmt.Printf("Replayed %d append batch(es) for %q (now %d rows)\n",
 					len(rec.Batches), t.Name, lt.Current().NumRows())
+			}
+			if rec.SkippedFrames > 0 {
+				fmt.Printf("Loaded %q from its checkpoint snapshot (%d already-covered WAL frames skipped)\n",
+					t.Name, rec.SkippedFrames)
 			}
 			if rec.TornTail {
 				fmt.Printf("serve: truncated a torn WAL tail for %q (%d bytes of an uncommitted append)\n",
@@ -232,6 +238,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: listener:", err)
 		}
 	}
+	// Stop background table maintenance before the live tables close under
+	// it (their deferred Close also waits out in-flight auto-checkpoints).
+	srv.Close()
 	if journal != nil {
 		if err := journal.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "serve: closing journal:", err)

@@ -18,7 +18,21 @@
 //     sequence number (store.VersionedRef). The offline cache addresses
 //     entries by it, so appends mint new addresses instead of forcing
 //     whole-table re-hashing, and ancestor versions' entries survive.
+//   - Bounded recovery: Checkpoint persists the current version as an
+//     atomic snapshot (temp + fsync + rename beside the WAL) and compacts
+//     the log to the post-checkpoint suffix, so restart replay is
+//     snapshot + suffix however long the table has lived. The snapshot
+//     records the ORIGINAL base hash — VersionRef stays baseHash@seq,
+//     monotone across checkpoints. A crash in either window (before the
+//     rename: old state, full replay; after it, before the truncate:
+//     snapshot wins, duplicate frames skipped by sequence) recovers
+//     bit-identically; a corrupt or wrong-base snapshot is a hard Open
+//     error, because the log behind it may already be compacted.
+//     Checkpoints are single-flight, manual (Checkpoint) or automatic
+//     past Options.CheckpointBytes of WAL growth.
 //
 // Observability follows the DESIGN.md §11 schema: appended-rows counter,
-// last-sequence gauge, plus the wal package's fsync/recovery series.
+// last-sequence gauge, checkpoint counters and the checkpoint-age and
+// WAL-size gauges, plus the wal package's fsync/recovery series. Status
+// snapshots the same numbers for /healthz.
 package live

@@ -2,8 +2,10 @@ package live
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -11,7 +13,6 @@ import (
 	"viewseeker/internal/faultfs"
 	"viewseeker/internal/retry"
 	"viewseeker/internal/store"
-	"viewseeker/internal/wal"
 )
 
 func baseTable(t *testing.T, rows int) *dataset.Table {
@@ -46,7 +47,7 @@ func tableRows(tab *dataset.Table) [][]dataset.Value {
 func TestAppendRecoverRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
 	base := baseTable(t, 10)
-	lt, rec, err := Open(nil, path, base, wal.Options{})
+	lt, rec, err := Open(nil, path, base, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAppendRecoverRoundtrip(t *testing.T) {
 	lt.Close()
 
 	// Reopen against the same base: replay lands on the same version.
-	lt2, rec2, err := Open(nil, path, baseTable(t, 10), wal.Options{})
+	lt2, rec2, err := Open(nil, path, baseTable(t, 10), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFaultKillDuringAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
 	faulty := faultfs.NewFaulty(nil)
 	fs := &stuckTruncateFS{FS: faulty}
-	lt, _, err := Open(fs, path, baseTable(t, 10), wal.Options{Retry: retry.Policy{Attempts: 1}})
+	lt, _, err := Open(fs, path, baseTable(t, 10), Options{Retry: retry.Policy{Attempts: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFaultKillDuringAppend(t *testing.T) {
 	faulty.Clear()
 	lt.Close()
 
-	lt2, rec, err := Open(faulty, path, baseTable(t, 10), wal.Options{})
+	lt2, rec, err := Open(faulty, path, baseTable(t, 10), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +137,241 @@ func (f *stuckTruncateFS) Truncate(string, int64) error {
 	return errors.New("injected truncate failure")
 }
 
+// TestCheckpointRoundtrip: Checkpoint persists the current version,
+// compacts the log to zero, and a reopen replays only the suffix — the
+// bounded-recovery contract — landing bit-identically on the same version
+// ref.
+func TestCheckpointRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	base := baseTable(t, 10)
+	lt, _, err := Open(nil, path, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := lt.Append(batch(i*100, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := lt.Status(); st.WalBytes == 0 || st.CheckpointSeq != 0 || st.CheckpointAgeSeconds != -1 {
+		t.Fatalf("pre-checkpoint status: %+v", st)
+	}
+	seq, err := lt.Checkpoint()
+	if err != nil || seq != 3 {
+		t.Fatalf("checkpoint: seq %d err %v, want 3 and nil", seq, err)
+	}
+	if st := lt.Status(); st.WalBytes != 0 || st.CheckpointSeq != 3 || st.CheckpointAgeSeconds < 0 {
+		t.Fatalf("post-checkpoint status: %+v", st)
+	}
+	// Nothing new to cover: a second checkpoint is a no-op.
+	if seq, err := lt.Checkpoint(); err != nil || seq != 0 {
+		t.Fatalf("idle checkpoint: seq %d err %v, want 0 and nil", seq, err)
+	}
+	if _, err := lt.Append(batch(900, 2)); err != nil {
+		t.Fatal(err)
+	}
+	want := tableRows(lt.Current())
+	wantRef := lt.VersionRef()
+	lt.Close()
+
+	lt2, rec, err := Open(nil, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt2.Close()
+	// Bounded replay: only the one post-checkpoint batch, nothing skipped
+	// (the log was compacted).
+	if len(rec.Batches) != 1 || rec.SkippedFrames != 0 || rec.LastSeq != 4 {
+		t.Fatalf("recovery: %d batches, %d skipped, seq %d; want 1, 0, 4",
+			len(rec.Batches), rec.SkippedFrames, rec.LastSeq)
+	}
+	if got := tableRows(lt2.Current()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered table differs from the pre-restart version")
+	}
+	if ref := lt2.VersionRef(); ref != wantRef {
+		t.Fatalf("version ref changed across checkpointed restart: %q != %q", ref, wantRef)
+	}
+	if st := lt2.Status(); st.CheckpointSeq != 3 {
+		t.Fatalf("checkpoint seq not restored: %+v", st)
+	}
+	// Appends keep working on the compacted log.
+	if seq, err := lt2.Append(batch(950, 1)); err != nil || seq != 5 {
+		t.Fatalf("post-recovery append: seq %d err %v", seq, err)
+	}
+}
+
+// ckptRenameFailFS fails the snapshot publish rename — the disk state of a
+// crash just before it: no (new) snapshot, full log intact.
+type ckptRenameFailFS struct{ faultfs.FS }
+
+func (f *ckptRenameFailFS) Rename(oldpath, newpath string) error {
+	if strings.HasSuffix(newpath, ".ckpt") {
+		return errors.New("injected crash before checkpoint rename")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// TestCheckpointCrashBeforeRename is crash window 1: dying before the
+// snapshot rename leaves the old state (here: no snapshot) plus the full
+// log, and recovery replays as if the checkpoint never started.
+func TestCheckpointCrashBeforeRename(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := &ckptRenameFailFS{FS: faultfs.OS{}}
+	lt, _, err := Open(fs, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := lt.Append(batch(i*100, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := tableRows(lt.Current())
+	if seq, err := lt.Checkpoint(); err == nil || seq != 0 {
+		t.Fatalf("crashed checkpoint: seq %d err %v, want 0 and error", seq, err)
+	}
+	// The failed attempt changed nothing: no snapshot, log uncompacted.
+	if st := lt.Status(); st.CheckpointSeq != 0 || st.WalBytes == 0 {
+		t.Fatalf("status after failed checkpoint: %+v", st)
+	}
+	lt.Close()
+
+	lt2, rec, err := Open(nil, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt2.Close()
+	if rec.LastSeq != 2 || rec.SkippedFrames != 0 || len(rec.Batches) != 2 {
+		t.Fatalf("recovery: %d batches, %d skipped, seq %d; want 2, 0, 2",
+			len(rec.Batches), rec.SkippedFrames, rec.LastSeq)
+	}
+	if got := tableRows(lt2.Current()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered table differs from the last committed version")
+	}
+}
+
+// TestCheckpointCrashBeforeTruncate is crash window 2: the snapshot rename
+// landed but the log compaction did not (stuckTruncateFS blocks it), so
+// the log still holds the frames the snapshot already covers. Recovery
+// loads the snapshot and skips the duplicate prefix by seq.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := &stuckTruncateFS{FS: faultfs.OS{}}
+	lt, _, err := Open(fs, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := lt.Append(batch(i*100, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := lt.Checkpoint()
+	if err == nil || seq != 3 {
+		t.Fatalf("checkpoint with stuck compaction: seq %d err %v, want 3 and error", seq, err)
+	}
+	// The snapshot is durable even though the log kept its covered prefix.
+	if st := lt.Status(); st.CheckpointSeq != 3 || st.WalBytes == 0 {
+		t.Fatalf("status after stuck compaction: %+v", st)
+	}
+	if _, err := lt.Append(batch(900, 2)); err != nil {
+		t.Fatal(err)
+	}
+	want := tableRows(lt.Current())
+	wantRef := lt.VersionRef()
+	lt.Close()
+
+	lt2, rec, err := Open(nil, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt2.Close()
+	// Frames 1..3 are duplicates of the snapshot: validated, skipped, never
+	// re-applied. Only batch 4 replays.
+	if rec.SkippedFrames != 3 || len(rec.Batches) != 1 || rec.LastSeq != 4 {
+		t.Fatalf("recovery: %d batches, %d skipped, seq %d; want 1, 3, 4",
+			len(rec.Batches), rec.SkippedFrames, rec.LastSeq)
+	}
+	if got := tableRows(lt2.Current()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered table differs from the last committed version")
+	}
+	if ref := lt2.VersionRef(); ref != wantRef {
+		t.Fatalf("version ref changed: %q != %q", ref, wantRef)
+	}
+}
+
+// TestAutoCheckpoint: with CheckpointBytes set low every append crosses
+// the threshold, so a background checkpoint runs and Close waits for it;
+// the reopened table replays only a bounded suffix.
+func TestAutoCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	lt, _, err := Open(nil, path, baseTable(t, 10), Options{CheckpointBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := lt.Append(batch(i*100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := tableRows(lt.Current())
+	lt.Close() // waits for any in-flight background checkpoint
+	if st := lt.Status(); st.CheckpointSeq == 0 {
+		t.Fatalf("auto-checkpoint never ran: %+v", st)
+	}
+
+	lt2, rec, err := Open(nil, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt2.Close()
+	if rec.LastSeq != 5 || len(rec.Batches) >= 5 {
+		t.Fatalf("recovery: %d batches, seq %d; want bounded replay to seq 5",
+			len(rec.Batches), rec.LastSeq)
+	}
+	if got := tableRows(lt2.Current()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered table differs from the pre-restart version")
+	}
+}
+
+// TestCheckpointHardErrors: a snapshot that exists but does not decode, or
+// was taken against a different base, must fail Open outright — the log
+// may be compacted, so falling back to base replay could silently lose
+// rows.
+func TestCheckpointHardErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	lt, _, err := Open(nil, path, baseTable(t, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Append(batch(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	lt.Close()
+
+	// Wrong base: the snapshot records the original base hash.
+	if _, _, err := Open(nil, path, baseTable(t, 11), Options{}); err == nil {
+		t.Fatal("open with a different base accepted a foreign checkpoint")
+	}
+	// Corrupt snapshot: hard error, no silent fallback.
+	if err := os.WriteFile(CheckpointPath(path), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(nil, path, baseTable(t, 10), Options{}); err == nil {
+		t.Fatal("open decoded a corrupt checkpoint")
+	}
+}
+
 // TestConcurrentReadersDuringAppend holds reader goroutines on pinned
 // versions while appends publish new ones; run under -race this pins the
 // MVCC claim that published versions are immutable.
 func TestConcurrentReadersDuringAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
-	lt, _, err := Open(nil, path, baseTable(t, 50), wal.Options{})
+	lt, _, err := Open(nil, path, baseTable(t, 50), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +421,7 @@ func TestVersionRefMonotone(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
 	base := baseTable(t, 10)
 	baseHash := store.HashTable(base)
-	lt, _, err := Open(nil, path, base, wal.Options{})
+	lt, _, err := Open(nil, path, base, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,6 +89,9 @@ func (r *Registry) gather() []family {
 	for name, g := range r.gauges {
 		add(name, "gauge", fmt.Sprintf("%s %d", name, g.Value()))
 	}
+	for name, fn := range r.gaugeFns {
+		add(name, "gauge", fmt.Sprintf("%s %d", name, fn()))
+	}
 	for name, h := range r.hists {
 		base, labels := splitSeries(name)
 		var lines []string
@@ -186,6 +189,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	for name, g := range r.gauges {
 		doc.Gauges[name] = g.Value()
 	}
+	for name, fn := range r.gaugeFns {
+		doc.Gauges[name] = fn()
+	}
 	for name, h := range r.hists {
 		hj := histogramJSON{Count: h.Count(), Sum: h.Sum(), Buckets: make(map[string]int64, len(h.bounds)+1)}
 		cum := int64(0)
@@ -219,6 +225,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 	}
 	for name, g := range r.gauges {
 		out[name] = float64(g.Value())
+	}
+	for name, fn := range r.gaugeFns {
+		out[name] = float64(fn())
 	}
 	for name, h := range r.hists {
 		out[WithSuffix(name, "_sum")] = h.Sum()

@@ -146,6 +146,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 }
 
@@ -154,6 +155,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -186,6 +188,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (scrape, JSON dump, snapshot) rather than pushed by the producer —
+// the natural shape for derived values like ages ("seconds since the last
+// checkpoint") that would otherwise need a ticker to stay fresh. fn is
+// called with the registry lock held and must be fast and non-blocking.
+// Re-registering a name replaces the function; a nil fn unregisters it.
+// A nil registry ignores the call.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		delete(r.gaugeFns, name)
+		return
+	}
+	r.gaugeFns[name] = fn
 }
 
 // Histogram returns the named histogram, creating it with the given

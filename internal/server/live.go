@@ -16,6 +16,11 @@ import (
 // against the version current at creation and keep it — and POST
 // /api/tables/{name}/append grows it. rec, when non-nil, feeds the WAL
 // recovery counters exported at /metricz.
+//
+// Hosting also starts the table's maintainer (see maintain.go), which
+// keeps exact-session offline state warm across appends until
+// Server.Close; a server that is already closed hosts the table without
+// one.
 func (s *Server) HostLive(lt *viewseeker.LiveTable, rec *viewseeker.LiveRecovery) {
 	cur := lt.Current()
 	lt.Instrument(s.metrics, rec)
@@ -27,27 +32,58 @@ func (s *Server) HostLive(lt *viewseeker.LiveTable, rec *viewseeker.LiveRecovery
 	// an append mints a new address in O(1) instead of rehashing contents,
 	// and cache entries of earlier versions survive as ancestors.
 	s.tableHash[cur.Name] = lt.VersionRef()
+	if !s.closed && s.maintainers[cur.Name] == nil {
+		s.maintainers[cur.Name] = newMaintainer(s, cur.Name, lt)
+	}
 }
 
-// liveStatus is one live table's WAL state in GET /healthz.
+// liveStatus is one live table's streaming state in GET /healthz.
 type liveStatus struct {
 	Table string `json:"table"`
 	// Seq is the last committed WAL sequence number (0 = base only).
 	Seq uint64 `json:"seq"`
 	// Rows is the current version's row count.
 	Rows int `json:"rows"`
+	// WalBytes is the on-disk size of the (compacted) log: replay cost on
+	// the next restart is proportional to it.
+	WalBytes int64 `json:"walBytes"`
+	// CheckpointSeq is the seq covered by the newest snapshot (0: none).
+	CheckpointSeq uint64 `json:"checkpointSeq"`
+	// CheckpointAgeSeconds is the snapshot's age (-1: none).
+	CheckpointAgeSeconds int64 `json:"checkpointAgeSeconds"`
+	// Maintained counts the offline states the table's maintainer hosts.
+	Maintained int `json:"maintained"`
+	// MaintainerLag is how many versions the slowest hosted offline state
+	// trails the table (0: fully caught up, or nothing hosted).
+	MaintainerLag uint64 `json:"maintainerLag"`
 }
 
 // liveStatuses snapshots every hosted live table's state, sorted by name.
 func (s *Server) liveStatuses() []liveStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]liveStatus, 0, len(s.live))
-	for name, lt := range s.live {
-		cur, seq := lt.Snapshot()
-		out = append(out, liveStatus{Table: name, Seq: seq, Rows: cur.NumRows()})
+	names := make([]string, 0, len(s.live))
+	for name := range s.live {
+		names = append(names, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	sort.Strings(names)
+	lts := make([]*viewseeker.LiveTable, len(names))
+	mts := make([]*maintainer, len(names))
+	for i, name := range names {
+		lts[i] = s.live[name]
+		mts[i] = s.maintainers[name]
+	}
+	s.mu.Unlock()
+	out := make([]liveStatus, len(names))
+	for i, name := range names {
+		st := lts[i].Status()
+		out[i] = liveStatus{
+			Table: name, Seq: st.Seq, Rows: st.Rows, WalBytes: st.WalBytes,
+			CheckpointSeq: st.CheckpointSeq, CheckpointAgeSeconds: st.CheckpointAgeSeconds,
+		}
+		if mts[i] != nil {
+			out[i].MaintainerLag, out[i].Maintained = mts[i].lag()
+		}
+	}
 	return out
 }
 
@@ -105,6 +141,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.tables[name] = lt.Current()
 	s.tableHash[name] = lt.VersionRef()
 	s.mu.Unlock()
+	s.notifyLive(name)
 	writeJSON(w, http.StatusOK, appendResponse{
 		Seq: seq, Rows: len(rows), Version: lt.VersionRef(), Synced: aerr == nil,
 	})

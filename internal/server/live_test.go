@@ -6,10 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"viewseeker/internal/dataset"
 	"viewseeker/internal/live"
-	"viewseeker/internal/wal"
 )
 
 // liveTestServer hosts a SYN live table and returns the raw server too,
@@ -17,16 +17,32 @@ import (
 func liveTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	table := dataset.GenerateSYN(dataset.SYNConfig{Rows: 2000, Seed: 9})
-	lt, rec, err := live.Open(nil, filepath.Join(t.TempDir(), "syn.wal"), table, wal.Options{})
+	lt, rec, err := live.Open(nil, filepath.Join(t.TempDir(), "syn.wal"), table, live.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { lt.Close() })
 	srv := New()
+	t.Cleanup(srv.Close)
 	srv.HostLive(lt, rec)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
+}
+
+// waitFor polls cond until it holds or the deadline passes — the
+// maintainer runs on its own goroutine, so tests observe it converge
+// rather than stepping it.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
 }
 
 // synJSONRows builds valid append rows for SYN's schema (d1..d4 floats,
@@ -134,4 +150,106 @@ func TestAppendDoesNotDisturbSessions(t *testing.T) {
 	if next.Done {
 		t.Fatal("session broke after append")
 	}
+}
+
+// TestMaintainerKeepsSessionsWarm: an exact session on a hosted live table
+// builds from the maintained offline state, the background maintainer
+// advances that state after appends (healthz lag returns to 0), and the
+// next session is warm at the new version.
+func TestMaintainerKeepsSessionsWarm(t *testing.T) {
+	ts, srv := liveTestServer(t)
+	var sess sessionInfo
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"table": "syn", "query": dataset.SYNQuery, "k": 3},
+		http.StatusCreated, &sess)
+	if !sess.Cached {
+		t.Fatal("exact session on a hosted live table was not served warm")
+	}
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if len(health.Live) != 1 || health.Live[0].Maintained != 1 {
+		t.Fatalf("healthz live after session = %+v", health.Live)
+	}
+
+	// All five appended rows match SYNQuery's predicate.
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/append",
+		map[string]any{"rows": synJSONRows(5)}, http.StatusOK, nil)
+	waitFor(t, "maintainer to catch up", func() bool {
+		var h healthResponse
+		doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &h)
+		return len(h.Live) == 1 && h.Live[0].Seq == 1 && h.Live[0].MaintainerLag == 0
+	})
+
+	var sess2 sessionInfo
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"table": "syn", "query": dataset.SYNQuery, "k": 3},
+		http.StatusCreated, &sess2)
+	if !sess2.Cached {
+		t.Fatal("post-append session was not served warm")
+	}
+	if sess2.TargetRows != sess.TargetRows+5 {
+		t.Fatalf("post-append session sees %d target rows, want %d",
+			sess2.TargetRows, sess.TargetRows+5)
+	}
+	// The maintainer took the suffix path, not a rebuild storm — but either
+	// way the drift counter must exist on the registry.
+	if _, ok := srv.Metrics().Snapshot()["viewseeker_live_drift_rebuilds_total"]; !ok {
+		t.Fatal("drift rebuild counter not registered")
+	}
+}
+
+// TestServerCloseStopsMaintainer: Close ends background maintenance
+// without breaking the serving path — appends still commit, and the
+// now-unmaintained state shows up as lag in healthz.
+func TestServerCloseStopsMaintainer(t *testing.T) {
+	ts, srv := liveTestServer(t)
+	doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]any{"table": "syn", "query": dataset.SYNQuery, "k": 3},
+		http.StatusCreated, nil)
+	srv.Close()
+	srv.Close() // idempotent
+
+	var resp appendResponse
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/append",
+		map[string]any{"rows": synJSONRows(5)}, http.StatusOK, &resp)
+	if resp.Seq != 1 {
+		t.Fatalf("append after Close: %+v", resp)
+	}
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if len(health.Live) != 1 || health.Live[0].MaintainerLag != 1 {
+		t.Fatalf("healthz after Close+append = %+v", health.Live)
+	}
+}
+
+// TestCheckpointEndpoint: the manual checkpoint route persists the current
+// version, compacts the log, and reports both through healthz.
+func TestCheckpointEndpoint(t *testing.T) {
+	ts, _ := liveTestServer(t)
+	for i := 0; i < 3; i++ {
+		doJSON(t, "POST", ts.URL+"/api/tables/syn/append",
+			map[string]any{"rows": synJSONRows(5)}, http.StatusOK, nil)
+	}
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if health.Live[0].WalBytes == 0 || health.Live[0].CheckpointSeq != 0 {
+		t.Fatalf("healthz before checkpoint = %+v", health.Live)
+	}
+
+	var ck checkpointResponse
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/checkpoint", nil, http.StatusOK, &ck)
+	if ck.Seq != 3 {
+		t.Fatalf("checkpoint seq = %d, want 3", ck.Seq)
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	if health.Live[0].WalBytes != 0 || health.Live[0].CheckpointSeq != 3 ||
+		health.Live[0].CheckpointAgeSeconds < 0 {
+		t.Fatalf("healthz after checkpoint = %+v", health.Live)
+	}
+	// Nothing new to cover: a second checkpoint is a no-op.
+	doJSON(t, "POST", ts.URL+"/api/tables/syn/checkpoint", nil, http.StatusOK, &ck)
+	if ck.Seq != 0 {
+		t.Fatalf("idle checkpoint seq = %d, want 0", ck.Seq)
+	}
+	doJSON(t, "POST", ts.URL+"/api/tables/nope/checkpoint", nil, http.StatusNotFound, nil)
 }

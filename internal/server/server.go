@@ -83,11 +83,21 @@ type Server struct {
 	maxBody    int64
 	refineHook func(viewIdx int)
 
-	metrics  *obs.Registry
-	tracer   *obs.Tracer
-	log      *slog.Logger
-	inflight *obs.Gauge
-	panics   *obs.Counter
+	// maintainers holds one background maintainer per hosted live table
+	// (see maintain.go); maintSem bounds how many run a pass concurrently.
+	// closed marks Close having run: maintainers are stopped and live
+	// tables hosted afterwards get none.
+	maintainers map[string]*maintainer
+	maintSem    chan struct{}
+	closed      bool
+
+	metrics       *obs.Registry
+	tracer        *obs.Tracer
+	log           *slog.Logger
+	inflight      *obs.Gauge
+	panics        *obs.Counter
+	maintPanics   *obs.Counter
+	driftRebuilds *obs.Counter
 }
 
 type session struct {
@@ -105,17 +115,19 @@ func New(tables ...*viewseeker.Table) *Server {
 // NewWithOptions builds a server hosting the given tables.
 func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s := &Server{
-		tables:     make(map[string]*viewseeker.Table),
-		live:       make(map[string]*viewseeker.LiveTable),
-		sessions:   make(map[string]*session),
-		tableHash:  make(map[string]string),
-		cache:      opts.Cache,
-		journal:    opts.Journal,
-		maxBody:    opts.MaxBodyBytes,
-		refineHook: opts.RefineHook,
-		metrics:    opts.Metrics,
-		tracer:     opts.Tracer,
-		log:        opts.Logger,
+		tables:      make(map[string]*viewseeker.Table),
+		live:        make(map[string]*viewseeker.LiveTable),
+		sessions:    make(map[string]*session),
+		tableHash:   make(map[string]string),
+		maintainers: make(map[string]*maintainer),
+		maintSem:    make(chan struct{}, maintainerConcurrency),
+		cache:       opts.Cache,
+		journal:     opts.Journal,
+		maxBody:     opts.MaxBodyBytes,
+		refineHook:  opts.RefineHook,
+		metrics:     opts.Metrics,
+		tracer:      opts.Tracer,
+		log:         opts.Logger,
 	}
 	if s.cache == nil {
 		s.cache = store.NewCache(0)
@@ -134,6 +146,8 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	}
 	s.inflight = s.metrics.Gauge("viewseeker_server_inflight_requests")
 	s.panics = s.metrics.Counter("viewseeker_server_panics_total")
+	s.maintPanics = s.metrics.Counter("viewseeker_server_maintainer_panics_total")
+	s.driftRebuilds = s.metrics.Counter("viewseeker_live_drift_rebuilds_total")
 	s.cache.Instrument(s.metrics)
 	if s.journal != nil {
 		s.journal.Instrument(s.metrics)
@@ -215,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /debug/vars", s.handleVars)
 	handle("GET /api/tables", s.handleTables)
 	handle("POST /api/tables/{name}/append", s.handleAppend)
+	handle("POST /api/tables/{name}/checkpoint", s.handleCheckpoint)
 	handle("POST /api/sessions", s.handleCreateSession)
 	handle("GET /api/sessions/{id}", s.withSession(s.handleSessionInfo))
 	handle("GET /api/sessions/{id}/next", s.withSession(s.handleNext))
@@ -482,11 +497,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
 		return
 	}
-	seeker, err := viewseeker.NewCtx(r.Context(), table, req.Query, viewseeker.Options{
-		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
-		Workers: req.Workers, Cache: s.cache, RefHash: refHash,
-		RefineHook: s.refineHook,
-	})
+	seeker, err := s.newSeeker(r.Context(), req, table, refHash)
 	if err != nil {
 		// A cancelled or timed-out request abandoned its offline phase: that
 		// is the server protecting itself, not a bad request, so report it
@@ -521,6 +532,36 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		Workers: req.Workers,
 	})
 	writeJSON(w, http.StatusCreated, s.infoOf(id, sess))
+}
+
+// newSeeker builds a session's seeker. Exact sessions on hosted live
+// tables come warm from the table's maintained offline state — the
+// maintainer has already advanced it to the current version, so creation
+// skips the offline phase entirely. Sampled sessions (alpha < 1) and
+// static tables take the cold path through the offline-result cache.
+func (s *Server) newSeeker(ctx context.Context, req createSessionRequest, table *viewseeker.Table, refHash string) (*viewseeker.Seeker, error) {
+	if req.Alpha <= 0 || req.Alpha >= 1 { // exact after normalisation
+		s.mu.Lock()
+		mt := s.maintainers[req.Table]
+		s.mu.Unlock()
+		if mt != nil {
+			m, ok, err := mt.state(req.Query)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return m.NewSessionWith(viewseeker.Options{
+					K: req.K, Strategy: req.Strategy, Seed: req.Seed,
+					Workers: req.Workers, RefineHook: s.refineHook,
+				})
+			}
+		}
+	}
+	return viewseeker.NewCtx(ctx, table, req.Query, viewseeker.Options{
+		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
+		Workers: req.Workers, Cache: s.cache, RefHash: refHash,
+		RefineHook: s.refineHook,
+	})
 }
 
 func (s *Server) infoOf(id string, sess *session) sessionInfo {

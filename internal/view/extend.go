@@ -3,6 +3,7 @@ package view
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"viewseeker/internal/dataset"
 )
@@ -29,6 +30,33 @@ import (
 // The property test in extend_test.go holds append-then-extend and
 // rebuild-from-scratch bit-identical over randomised tables and appends.
 
+// Drift counts how many appended values escaped a pinned bin layout: of
+// the Appended non-null dimension values processed since the layout was
+// fit, OutOfRange fell outside it (new categoricals, numerics past the
+// fitted range) and dropped to bin -1. Nulls are excluded on both sides —
+// they never fit any layout, so they say nothing about distribution
+// shift. Drift accumulates across ApplyAppend generations; a sustained
+// high Rate means the layout no longer represents the data and the caller
+// should re-fit (re-run layout computation over the full table).
+type Drift struct {
+	Appended   int
+	OutOfRange int
+}
+
+// Rate returns the out-of-range fraction (0 when nothing was appended).
+func (d Drift) Rate() float64 {
+	if d.Appended == 0 {
+		return 0
+	}
+	return float64(d.OutOfRange) / float64(d.Appended)
+}
+
+// add accumulates o into d.
+func (d *Drift) add(o Drift) {
+	d.Appended += o.Appended
+	d.OutOfRange += o.OutOfRange
+}
+
 // ExtendBinIndexAll extends cached bin indexes to cover an appended table:
 // t must extend the indexes' original table row-for-row, old must be a
 // BinIndexAll result over the same layouts (all on one dimension), and
@@ -36,44 +64,58 @@ import (
 // from are copied; rows from..NumRows-1 are binned fresh. The result is
 // exactly BinIndexAll(t, layouts) — appended values that fall outside a
 // pinned layout (new categoricals, out-of-range numerics) map to bin -1,
-// same as a full re-index under that layout.
-func ExtendBinIndexAll(t *dataset.Table, layouts []*BinLayout, old [][]int32, from int) ([][]int32, error) {
+// same as a full re-index under that layout. The per-layout Drift reports
+// how many appended non-null values escaped each layout this call.
+func ExtendBinIndexAll(t *dataset.Table, layouts []*BinLayout, old [][]int32, from int) ([][]int32, []Drift, error) {
 	if len(layouts) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if len(old) != len(layouts) {
-		return nil, fmt.Errorf("view: extending %d bin indexes with %d layouts", len(old), len(layouts))
+		return nil, nil, fmt.Errorf("view: extending %d bin indexes with %d layouts", len(old), len(layouts))
 	}
 	dim := layouts[0].Dimension
 	for _, l := range layouts[1:] {
 		if l.Dimension != dim {
-			return nil, fmt.Errorf("view: ExtendBinIndexAll layouts mix dimensions %q and %q", dim, l.Dimension)
+			return nil, nil, fmt.Errorf("view: ExtendBinIndexAll layouts mix dimensions %q and %q", dim, l.Dimension)
 		}
 	}
 	n := t.NumRows()
 	if from > n {
-		return nil, fmt.Errorf("view: bin index covers %d rows but table has %d", from, n)
+		return nil, nil, fmt.Errorf("view: bin index covers %d rows but table has %d", from, n)
 	}
 	for i, o := range old {
 		if len(o) != from {
-			return nil, fmt.Errorf("view: bin index %d has %d entries, want %d", i, len(o), from)
+			return nil, nil, fmt.Errorf("view: bin index %d has %d entries, want %d", i, len(o), from)
 		}
 	}
 	col := t.Column(dim)
 	if col == nil {
-		return nil, fmt.Errorf("view: table has no column %q", dim)
+		return nil, nil, fmt.Errorf("view: table has no column %q", dim)
 	}
 	out := make([][]int32, len(layouts))
 	for i := range out {
 		out[i] = make([]int32, n)
 		copy(out[i], old[i])
 	}
+	drift := make([]Drift, len(layouts))
 	for r := from; r < n; r++ {
+		if col.IsNull(r) {
+			// BinOf maps nulls to -1 under every layout; not drift.
+			for i := range layouts {
+				out[i][r] = -1
+			}
+			continue
+		}
 		for i, l := range layouts {
-			out[i][r] = int32(l.BinOf(col, r))
+			b := int32(l.BinOf(col, r))
+			out[i][r] = b
+			drift[i].Appended++
+			if b < 0 {
+				drift[i].OutOfRange++
+			}
 		}
 	}
-	return out, nil
+	return out, drift, nil
 }
 
 // ExtendStats extends full-data group statistics to cover an appended
@@ -89,28 +131,39 @@ func ExtendBinIndexAll(t *dataset.Table, layouts []*BinLayout, old [][]int32, fr
 // non-null value, re-anchoring SumSqs. The caller must then recompute that
 // layout from scratch (the only case where a delta cannot reproduce the
 // full scan bit-for-bit).
-func ExtendStats(t *dataset.Table, old *Stats, bins []int32, from int) (s *Stats, ok bool, err error) {
+//
+// dropped counts the appended rows whose bin is -1 — rows the pinned
+// layout cannot place (out-of-range values and nulls alike), which every
+// slot accumulator therefore skips. It is the stats-side view of layout
+// drift: a growing dropped share means the histograms cover less and less
+// of the incoming data.
+func ExtendStats(t *dataset.Table, old *Stats, bins []int32, from int) (s *Stats, dropped int, ok bool, err error) {
 	n := t.NumRows()
 	if len(bins) != n {
-		return nil, false, fmt.Errorf("view: bin index has %d entries for %d rows", len(bins), n)
+		return nil, 0, false, fmt.Errorf("view: bin index has %d entries for %d rows", len(bins), n)
 	}
 	if from > n {
-		return nil, false, fmt.Errorf("view: stats cover %d rows but table has %d", from, n)
+		return nil, 0, false, fmt.Errorf("view: stats cover %d rows but table has %d", from, n)
+	}
+	for r := from; r < n; r++ {
+		if bins[r] < 0 {
+			dropped++
+		}
 	}
 	mCols := make([]*dataset.Column, len(old.Measures))
 	for m, name := range old.Measures {
 		mCols[m] = t.Column(name)
 		if mCols[m] == nil {
-			return nil, false, fmt.Errorf("view: table has no measure %q", name)
+			return nil, dropped, false, fmt.Errorf("view: table has no measure %q", name)
 		}
 		// Bit-compare: a NaN shift must not force a rebuild per append.
 		if math.Float64bits(measureShift(mCols[m])) != math.Float64bits(old.Shifts[m]) {
-			return nil, false, nil
+			return nil, dropped, false, nil
 		}
 	}
 	s = old.clone()
 	if from == n {
-		return s, true, nil
+		return s, dropped, true, nil
 	}
 	rows := make([]int, n-from)
 	for i := range rows {
@@ -127,7 +180,7 @@ func ExtendStats(t *dataset.Table, old *Stats, bins []int32, from int) (s *Stats
 			s.SumSqs[base:base+nb], s.Mins[base:base+nb], s.Maxs[base:base+nb],
 			vals, nulls, rows, bins, s.Shifts[m])
 	}
-	return s, true, nil
+	return s, dropped, true, nil
 }
 
 // clone deep-copies the accumulator arrays; layout, measure names and
@@ -163,6 +216,12 @@ func (g *Generator) ApplyAppend(newRef, newTarget *dataset.Table) (*Generator, e
 	ng := &Generator{
 		Ref: newRef, Target: newTarget, cfg: g.cfg, specs: g.specs,
 		layouts: g.layouts, dimLayouts: g.dimLayouts,
+		drift: make(map[layoutKey]Drift, len(g.drift)),
+	}
+	// Drift is cumulative since the layouts were fit: each generation
+	// inherits its parent's counts and adds what this append escaped.
+	for k, d := range g.drift {
+		ng.drift[k] = d
 	}
 	if err := g.extendSide(ng, sideRef, newRef, g.Ref.NumRows()); err != nil {
 		return nil, err
@@ -198,9 +257,19 @@ func (g *Generator) extendSide(ng *Generator, sd side, newT *dataset.Table, from
 		for i, k := range keys {
 			layouts[i] = g.layouts[k]
 		}
-		bundle, err := ExtendBinIndexAll(newT, layouts, old, from)
+		bundle, drift, err := ExtendBinIndexAll(newT, layouts, old, from)
 		if err != nil {
 			return err
+		}
+		if sd == sideRef {
+			// Layouts are fit on the reference side, so the reference scan
+			// is the authoritative drift signal (the target is a subset of
+			// the same rows).
+			for i, k := range keys {
+				d := ng.drift[k]
+				d.add(drift[i])
+				ng.drift[k] = d
+			}
 		}
 		newBins.seed(dim, bundle)
 		extended[dim] = bundle
@@ -223,7 +292,7 @@ func (g *Generator) extendSide(ng *Generator, sd side, newT *dataset.Table, from
 		if err != nil {
 			return err
 		}
-		ns, ok, err := ExtendStats(newT, st, bins, from)
+		ns, _, ok, err := ExtendStats(newT, st, bins, from)
 		if err != nil {
 			return err
 		}
@@ -240,7 +309,7 @@ func (g *Generator) extendSide(ng *Generator, sd side, newT *dataset.Table, from
 		if err != nil {
 			return err
 		}
-		ns, ok, err := ExtendStats(newT, st, bins, from)
+		ns, _, ok, err := ExtendStats(newT, st, bins, from)
 		if err != nil {
 			return err
 		}
@@ -253,4 +322,43 @@ func (g *Generator) extendSide(ng *Generator, sd side, newT *dataset.Table, from
 		newFocused.seed(mk, ns)
 	}
 	return nil
+}
+
+// LayoutDrift is one layout's cumulative drift, in exported form.
+type LayoutDrift struct {
+	Dimension string
+	Bins      int
+	Drift     Drift
+}
+
+// DriftStats returns the cumulative per-layout drift accumulated across
+// the ApplyAppend chain that produced this generator, sorted by
+// (dimension, bins) for determinism. A freshly constructed generator —
+// whose layouts were fit to its own reference data — has none.
+func (g *Generator) DriftStats() []LayoutDrift {
+	out := make([]LayoutDrift, 0, len(g.drift))
+	for k, d := range g.drift {
+		out = append(out, LayoutDrift{Dimension: k.dim, Bins: k.bins, Drift: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dimension != out[j].Dimension {
+			return out[i].Dimension < out[j].Dimension
+		}
+		return out[i].Bins < out[j].Bins
+	})
+	return out
+}
+
+// MaxDriftRate returns the highest cumulative out-of-range rate across
+// all layouts (0 for a fresh generator). This is the scalar a maintainer
+// compares against its drift threshold to decide when the pinned layouts
+// need re-fitting.
+func (g *Generator) MaxDriftRate() float64 {
+	var max float64
+	for _, d := range g.drift {
+		if r := d.Rate(); r > max {
+			max = r
+		}
+	}
+	return max
 }

@@ -50,7 +50,7 @@ func TestExtendMatchesRebuild(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ext, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, from)
+			ext, _, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, from)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +69,7 @@ func TestExtendMatchesRebuild(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			extStats, ok, err := ExtendStats(appended, oldStats, ext[0], from)
+			extStats, _, ok, err := ExtendStats(appended, oldStats, ext[0], from)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,11 +125,11 @@ func TestExtendStatsShiftDrift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, 2)
+	ext, _, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := ExtendStats(appended, oldStats, ext[0], 2); err != nil || ok {
+	if _, _, ok, err := ExtendStats(appended, oldStats, ext[0], 2); err != nil || ok {
 		t.Fatalf("shift drift not detected: ok=%v err=%v", ok, err)
 	}
 	// An all-null append over the all-null base keeps shift 0: extendable.
@@ -137,11 +137,11 @@ func TestExtendStatsShiftDrift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext2, err := ExtendBinIndexAll(appended2, []*BinLayout{layout}, [][]int32{oldBins}, 2)
+	ext2, _, err := ExtendBinIndexAll(appended2, []*BinLayout{layout}, [][]int32{oldBins}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := ExtendStats(appended2, oldStats, ext2[0], 2); err != nil || !ok {
+	if _, _, ok, err := ExtendStats(appended2, oldStats, ext2[0], 2); err != nil || !ok {
 		t.Fatalf("all-null extension refused: ok=%v err=%v", ok, err)
 	}
 }
@@ -209,5 +209,105 @@ func TestApplyAppendMatchesScratch(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDriftTracking: appended values outside a pinned numeric layout are
+// counted as drift (nulls are not), the counts accumulate across
+// ApplyAppend generations, and a fresh generator starts at zero.
+func TestDriftTracking(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.ColumnDef{Name: "d", Kind: dataset.KindFloat, Role: dataset.RoleDimension},
+		dataset.ColumnDef{Name: "m", Kind: dataset.KindFloat, Role: dataset.RoleMeasure},
+	)
+	base := dataset.NewTable("t", schema)
+	for i := 0; i < 10; i++ {
+		base.MustAppendRow(dataset.Float(float64(i)), dataset.Float(1))
+	}
+	layout, err := ComputeLayout(base, "d", 5) // pinned to [0, 9]
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBins, err := BinIndex(base, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 in range, 2 out of range, 1 null: drift is 2/4.
+	rows := [][]dataset.Value{
+		{dataset.Float(1), dataset.Float(1)},
+		{dataset.Float(100), dataset.Float(1)},
+		{dataset.Float(-5), dataset.Float(1)},
+		{dataset.Null, dataset.Float(1)},
+		{dataset.Float(3), dataset.Float(1)},
+	}
+	appended, err := base.WithAppended(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, drift, err := ExtendBinIndexAll(appended, []*BinLayout{layout}, [][]int32{oldBins}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift[0].Appended != 4 || drift[0].OutOfRange != 2 {
+		t.Fatalf("drift = %+v, want {Appended:4 OutOfRange:2}", drift[0])
+	}
+	if r := drift[0].Rate(); r != 0.5 {
+		t.Fatalf("rate = %g, want 0.5", r)
+	}
+
+	// Generator-level accumulation across two generations. The target is a
+	// distinct table (all rows) so the reference-side caches — where drift
+	// is counted — are exercised as in real use.
+	allRows := func(tab *dataset.Table) *dataset.Table {
+		idx := make([]int, tab.NumRows())
+		for i := range idx {
+			idx[i] = i
+		}
+		return tab.Subset("dq", idx)
+	}
+	cfg := SpaceConfig{BinCounts: []int{5}}
+	gen, err := NewGenerator(base, allRows(base), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Warm(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := gen.MaxDriftRate(); got != 0 {
+		t.Fatalf("fresh generator drift = %g, want 0", got)
+	}
+	g2, err := gen.ApplyAppend(appended, allRows(appended))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended2, err := appended.WithAppended([][]dataset.Value{
+		{dataset.Float(200), dataset.Float(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := g2.ApplyAppend(appended2, allRows(appended2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g3.DriftStats()
+	found := false
+	for _, ld := range ds {
+		if ld.Dimension == "d" && ld.Bins == 5 {
+			found = true
+			if ld.Drift.Appended != 5 || ld.Drift.OutOfRange != 3 {
+				t.Fatalf("cumulative drift = %+v, want {Appended:5 OutOfRange:3}", ld.Drift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no drift entry for layout d/5 in %+v", ds)
+	}
+	if got, want := g3.MaxDriftRate(), 0.6; got != want {
+		t.Fatalf("MaxDriftRate = %g, want %g", got, want)
+	}
+	// The parent generation's counts were not mutated by the child.
+	if got := g2.MaxDriftRate(); got != 0.5 {
+		t.Fatalf("parent MaxDriftRate = %g, want 0.5", got)
 	}
 }

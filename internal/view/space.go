@@ -109,6 +109,13 @@ type Generator struct {
 	// path never re-read a dimension column per configuration.
 	refBins lazyCache[string, [][]int32]
 	tgtBins lazyCache[string, [][]int32]
+
+	// drift accumulates per-layout out-of-range counts across the
+	// ApplyAppend chain since the layouts were fit (nil on a fresh
+	// generator). Written once while the new generator is built, read-only
+	// after publication — the same immutability discipline as the layout
+	// maps.
+	drift map[layoutKey]Drift
 }
 
 type layoutKey struct {

@@ -23,6 +23,20 @@
 // the same N appends would have, which is what the live-table layer's
 // fault-injection tests pin.
 //
+// # Compaction
+//
+// CompactThrough(seq) drops every record at or below seq, rewriting the
+// retained suffix atomically (temp file + rename; an up-to-date log is
+// simply truncated to empty). A compacted log no longer starts at
+// sequence 1, so it must be opened with Options.SkipThrough set to the
+// compaction point — the caller (internal/live) records it in its
+// checkpoint snapshot. During recovery, frames at or below SkipThrough
+// are fully validated but dropped into Recovery.SkippedFrames instead of
+// replayed; that makes recovery idempotent when a crash lands between
+// "snapshot durable" and "log compacted", when snapshot and full log
+// briefly coexist. Opening a compacted log without its SkipThrough is
+// reported as a torn tail, never replayed against the wrong base.
+//
 // # Failure semantics
 //
 // Append writes the whole record in one Write and retries torn writes by

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,15 @@ type Options struct {
 	// Retry is the append retry schedule; the zero value selects
 	// retry.Default().
 	Retry retry.Policy
+	// SkipThrough marks the sequence number already covered by an external
+	// snapshot: recovery still validates every on-disk frame, but batches
+	// with Seq <= SkipThrough are dropped from Recovery.Batches (counted in
+	// Recovery.SkippedFrames) instead of being replayed. This is how a
+	// checkpointed log tolerates the crash window between the snapshot
+	// rename and the log truncation — duplicate suffix frames are detected
+	// by seq and skipped. The log may legitimately begin at any seq in
+	// [1, SkipThrough+1]; the chain must be contiguous from there.
+	SkipThrough uint64
 }
 
 // Value kind tags of the record payload encoding.
@@ -97,9 +107,11 @@ type WAL struct {
 	mRetryBackoffs    *obs.Counter
 	mRetryExhaust     *obs.Counter
 	mLastSeq          *obs.Gauge
+	mDiskBytes        *obs.Gauge
 	mFsyncSeconds     *obs.Histogram
 	mRecoveredBatches *obs.Counter
 	mTornTails        *obs.Counter
+	mCompactions      *obs.Counter
 }
 
 // Open opens (creating if needed) the log at path, replays its committed
@@ -112,7 +124,7 @@ func Open(fs faultfs.FS, path string, opts Options) (*WAL, *Recovery, error) {
 	if fs == nil {
 		fs = faultfs.OS{}
 	}
-	rec, err := recover_(fs, path)
+	rec, err := recover_(fs, path, opts.SkipThrough)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,10 +151,16 @@ func Open(fs faultfs.FS, path string, opts Options) (*WAL, *Recovery, error) {
 
 // Recovery reports what Open found on disk.
 type Recovery struct {
-	// Batches are the committed batches in sequence order.
+	// Batches are the committed batches in sequence order, excluding any
+	// dropped by Options.SkipThrough.
 	Batches []Batch
-	// LastSeq is the last committed sequence number (0 for an empty log).
+	// LastSeq is the last committed sequence number: the last frame's seq,
+	// or Options.SkipThrough when the log holds nothing past it (0 for an
+	// empty, uncheckpointed log).
 	LastSeq uint64
+	// SkippedFrames counts valid frames dropped because their seq was
+	// already covered by Options.SkipThrough.
+	SkippedFrames int
 	// CommittedBytes is the on-disk length of the committed prefix.
 	CommittedBytes int64
 	// TornTail reports whether a torn tail was found and truncated.
@@ -154,8 +172,8 @@ type Recovery struct {
 // recover_ scans the log, validating each record's frame, checksum,
 // payload encoding and sequence chain, and truncates the file back to the
 // last valid record boundary when anything past it fails.
-func recover_(fs faultfs.FS, path string) (*Recovery, error) {
-	rec := &Recovery{}
+func recover_(fs faultfs.FS, path string, skipThrough uint64) (*Recovery, error) {
+	rec := &Recovery{LastSeq: skipThrough}
 	f, err := fs.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -164,7 +182,8 @@ func recover_(fs faultfs.FS, path string) (*Recovery, error) {
 		return nil, fmt.Errorf("wal: opening %s for recovery: %w", path, err)
 	}
 	br := bufio.NewReaderSize(f, 1<<16)
-	var read int64 // total bytes consumed, valid or not
+	var read int64     // total bytes consumed, valid or not
+	var prevSeq uint64 // seq of the last valid frame (0: none yet)
 	header := make([]byte, recordHeaderLen)
 	var payload []byte
 	for {
@@ -197,13 +216,30 @@ func recover_(fs faultfs.FS, path string) (*Recovery, error) {
 			break
 		}
 		b, derr := decodeBatch(payload)
-		if derr != nil || b.Seq != rec.LastSeq+1 {
+		if derr != nil {
 			rec.TornTail = true
 			break
 		}
+		if prevSeq == 0 {
+			// First frame: an uncompacted log starts at 1; a compacted one
+			// starts anywhere up to skipThrough+1 (the snapshot covers the
+			// rest). Anything else is a foreign or corrupted log.
+			if b.Seq == 0 || b.Seq > skipThrough+1 {
+				rec.TornTail = true
+				break
+			}
+		} else if b.Seq != prevSeq+1 {
+			rec.TornTail = true
+			break
+		}
+		prevSeq = b.Seq
+		rec.CommittedBytes += recordHeaderLen + int64(length)
+		if b.Seq <= skipThrough {
+			rec.SkippedFrames++
+			continue
+		}
 		rec.Batches = append(rec.Batches, b)
 		rec.LastSeq = b.Seq
-		rec.CommittedBytes += recordHeaderLen + int64(length)
 	}
 	// Anything buffered past the last committed record is tail garbage too.
 	f.Close()
@@ -235,12 +271,15 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 	w.mBytes = reg.Counter("viewseeker_wal_bytes_total")
 	w.mFsyncSeconds = reg.Histogram("viewseeker_wal_fsync_seconds", obs.DurationBuckets)
 	w.mLastSeq = reg.Gauge("viewseeker_wal_last_seq")
+	w.mDiskBytes = reg.Gauge("viewseeker_wal_bytes")
 	w.mTruncations = reg.Counter("viewseeker_wal_truncations_total")
 	w.mRecoveredBatches = reg.Counter("viewseeker_wal_recovered_batches_total")
 	w.mTornTails = reg.Counter("viewseeker_wal_torn_tails_total")
+	w.mCompactions = reg.Counter("viewseeker_wal_compactions_total")
 	w.mRetryBackoffs = reg.Counter("viewseeker_retry_backoffs_total")
 	w.mRetryExhaust = reg.Counter("viewseeker_retry_exhausted_total")
 	w.mLastSeq.Set(int64(w.seq))
+	w.mDiskBytes.Set(w.committed)
 }
 
 // RecordRecovery feeds one Open's Recovery into the instrumented counters,
@@ -259,6 +298,15 @@ func (w *WAL) Seq() uint64 { return w.lastSeq.Load() }
 
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
+
+// Bytes returns the on-disk size of the committed log in bytes. Replay
+// cost is proportional to it, which makes it the natural checkpoint
+// trigger.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.committed
+}
 
 // Append commits one batch of rows and returns its sequence number. The
 // record is written as a single frame and fsynced per the SyncEvery
@@ -319,6 +367,7 @@ func (w *WAL) Append(rows [][]dataset.Value) (uint64, error) {
 	w.mAppends.Inc()
 	w.mBytes.Add(int64(len(frame)))
 	w.mLastSeq.Set(int64(seq))
+	w.mDiskBytes.Set(w.committed)
 	w.sinceSync++
 	if w.sinceSync >= w.syncEvery {
 		if err := w.syncLocked(); err != nil {
@@ -349,6 +398,128 @@ func (w *WAL) syncLocked() error {
 		w.sinceSync = 0
 	}
 	return err
+}
+
+// CompactThrough drops every committed record with sequence number <= seq
+// from the log: the caller has persisted a snapshot covering them, so
+// replay no longer needs them. When seq covers the whole log the file is
+// truncated to zero in place (the open O_APPEND handle stays valid — later
+// appends continue at the new end); otherwise the retained suffix is
+// rewritten into a temp file, fsynced, and atomically renamed over the
+// log. The sequence chain is NOT reset: the next append still gets the
+// next seq, and recovery accepts a log starting past 1 when told the
+// snapshot's coverage via Options.SkipThrough.
+func (w *WAL) CompactThrough(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if w.poisoned != nil {
+		return fmt.Errorf("wal: log has an unrepaired torn tail (reopen to recover): %w", w.poisoned)
+	}
+	if seq >= w.seq {
+		if err := w.fs.Truncate(w.path, 0); err != nil {
+			return fmt.Errorf("wal: compacting %s: %w", w.path, err)
+		}
+		w.committed = 0
+		w.sinceSync = 0
+		w.mCompactions.Inc()
+		w.mDiskBytes.Set(0)
+		return nil
+	}
+	kept, err := w.rewriteRetained(seq)
+	if err != nil {
+		return err
+	}
+	w.committed = kept
+	w.sinceSync = 0
+	w.mCompactions.Inc()
+	w.mDiskBytes.Set(kept)
+	return nil
+}
+
+// rewriteRetained copies the frames with seq > through into a temp file
+// and swaps it in for the log, returning the retained byte count. Called
+// with w.mu held. The committed prefix is valid by construction (Open
+// validated it and every later frame was written whole under the mutex),
+// so frames are copied raw after a bounds check plus seq filter.
+func (w *WAL) rewriteRetained(through uint64) (int64, error) {
+	src, err := w.fs.Open(w.path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: opening %s for compaction: %w", w.path, err)
+	}
+	defer src.Close()
+	tmp, err := w.fs.CreateTemp(filepath.Dir(w.path), filepath.Base(w.path)+".compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("wal: compaction temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Removing the temp is a no-op after a successful rename.
+	defer w.fs.Remove(tmpName)
+	br := bufio.NewReaderSize(src, 1<<16)
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	header := make([]byte, recordHeaderLen)
+	var payload []byte
+	var read, kept int64
+	for read < w.committed {
+		if _, err := io.ReadFull(br, header); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("wal: compaction read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		if length < 16 || length > maxPayload {
+			tmp.Close()
+			return 0, fmt.Errorf("wal: compaction found implausible frame length %d", length)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("wal: compaction read: %w", err)
+		}
+		read += recordHeaderLen + int64(length)
+		if binary.LittleEndian.Uint64(payload[0:8]) <= through {
+			continue
+		}
+		if _, err := bw.Write(header); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("wal: compaction write: %w", err)
+		}
+		if _, err := bw.Write(payload); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("wal: compaction write: %w", err)
+		}
+		kept += recordHeaderLen + int64(length)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("wal: compaction flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("wal: compaction fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("wal: compaction close: %w", err)
+	}
+	// Swap: close the append handle, rename, reopen. Reopening the same
+	// path succeeds whether or not the rename did, so the log stays
+	// appendable either way.
+	w.f.Close()
+	renameErr := w.fs.Rename(tmpName, w.path)
+	f, openErr := w.fs.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if openErr != nil {
+		w.f = nil
+		return 0, fmt.Errorf("wal: reopening %s after compaction: %w", w.path, openErr)
+	}
+	w.f = f
+	if renameErr != nil {
+		return 0, fmt.Errorf("wal: swapping compacted log: %w", renameErr)
+	}
+	return kept, nil
 }
 
 // Close syncs and closes the log. Further appends fail.

@@ -379,3 +379,144 @@ func (c *countingFile) Sync() error {
 	c.syncs.inc()
 	return c.File.Sync()
 }
+
+// TestSkipThroughRecovery: recovery with SkipThrough validates every frame
+// but drops the already-covered prefix from Batches, and LastSeq never
+// goes below SkipThrough even when the log holds nothing past it.
+func TestSkipThroughRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := openT(t, nil, path, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(testRows(2, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w2, rec := openT(t, nil, path, Options{SkipThrough: 3})
+	if rec.SkippedFrames != 3 || len(rec.Batches) != 2 || rec.LastSeq != 5 || rec.TornTail {
+		t.Fatalf("skip 3: %d skipped, %d batches, seq %d, torn %v",
+			rec.SkippedFrames, len(rec.Batches), rec.LastSeq, rec.TornTail)
+	}
+	if rec.Batches[0].Seq != 4 || rec.Batches[1].Seq != 5 {
+		t.Fatalf("surviving batch seqs: %d, %d", rec.Batches[0].Seq, rec.Batches[1].Seq)
+	}
+	w2.Close()
+
+	// Everything covered: no batches, but the seq counter holds.
+	w3, rec := openT(t, nil, path, Options{SkipThrough: 5})
+	if rec.SkippedFrames != 5 || len(rec.Batches) != 0 || rec.LastSeq != 5 {
+		t.Fatalf("skip 5: %d skipped, %d batches, seq %d",
+			rec.SkippedFrames, len(rec.Batches), rec.LastSeq)
+	}
+	w3.Close()
+
+	// SkipThrough beyond the log: LastSeq = SkipThrough, appends continue
+	// from there (the external snapshot is ahead of this log).
+	w4, rec := openT(t, nil, path, Options{SkipThrough: 7})
+	if rec.LastSeq != 7 || len(rec.Batches) != 0 {
+		t.Fatalf("skip 7: %d batches, seq %d", len(rec.Batches), rec.LastSeq)
+	}
+	if seq, err := w4.Append(testRows(1, 0)); err != nil || seq != 8 {
+		t.Fatalf("append after skip-beyond: seq %d err %v", seq, err)
+	}
+}
+
+// TestCompactThroughTail: compacting through the newest frame truncates
+// the log to zero in place; the append handle survives and recovery with
+// the matching SkipThrough sees only later frames.
+func TestCompactThroughTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := openT(t, nil, path, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(testRows(2, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Bytes() == 0 {
+		t.Fatal("Bytes() = 0 after appends")
+	}
+	if err := w.CompactThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != 0 {
+		t.Fatalf("Bytes() = %d after full compaction, want 0", w.Bytes())
+	}
+	rows := testRows(2, 100)
+	if seq, err := w.Append(rows); err != nil || seq != 4 {
+		t.Fatalf("append after compaction: seq %d err %v", seq, err)
+	}
+	w.Close()
+
+	_, rec := openT(t, nil, path, Options{SkipThrough: 3})
+	if len(rec.Batches) != 1 || rec.Batches[0].Seq != 4 || rec.LastSeq != 4 || rec.SkippedFrames != 0 {
+		t.Fatalf("recovery after tail compaction: %+v", rec)
+	}
+	if !reflect.DeepEqual(rec.Batches[0].Rows, rows) {
+		t.Fatal("surviving batch rows differ")
+	}
+}
+
+// TestCompactThroughPartial: compacting through a mid-log seq rewrites the
+// retained suffix; the kept frames replay byte-identically and appends
+// continue on the rewritten file.
+func TestCompactThroughPartial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := openT(t, nil, path, Options{})
+	var kept [][][]dataset.Value
+	for i := 0; i < 5; i++ {
+		rows := testRows(2+i, i*10)
+		if _, err := w.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 2 {
+			kept = append(kept, rows)
+		}
+	}
+	before := w.Bytes()
+	if err := w.CompactThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if after := w.Bytes(); after == 0 || after >= before {
+		t.Fatalf("Bytes() = %d after partial compaction, want in (0, %d)", after, before)
+	}
+	last := testRows(1, 900)
+	if seq, err := w.Append(last); err != nil || seq != 6 {
+		t.Fatalf("append after compaction: seq %d err %v", seq, err)
+	}
+	kept = append(kept, last)
+	w.Close()
+
+	_, rec := openT(t, nil, path, Options{SkipThrough: 2})
+	if len(rec.Batches) != 4 || rec.LastSeq != 6 || rec.SkippedFrames != 0 || rec.TornTail {
+		t.Fatalf("recovery after partial compaction: %+v", rec)
+	}
+	for i, b := range rec.Batches {
+		if b.Seq != uint64(i+3) || !reflect.DeepEqual(b.Rows, kept[i]) {
+			t.Fatalf("batch %d: seq %d, rows equal %v", i, b.Seq, reflect.DeepEqual(b.Rows, kept[i]))
+		}
+	}
+}
+
+// TestCompactedLogNeedsSkipThrough pins the misuse contract: a compacted
+// log opened without the matching SkipThrough starts mid-chain, which is
+// indistinguishable from corruption and reported as a torn tail.
+func TestCompactedLogNeedsSkipThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := openT(t, nil, path, Options{})
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append(testRows(2, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.CompactThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	_, rec := openT(t, nil, path, Options{})
+	if !rec.TornTail || len(rec.Batches) != 0 {
+		t.Fatalf("mid-chain log without SkipThrough: torn %v, %d batches",
+			rec.TornTail, len(rec.Batches))
+	}
+}

@@ -17,17 +17,30 @@ import (
 type LiveTable = live.Table
 
 // LiveRecovery reports what replaying a live table's write-ahead log
-// found: the last committed sequence, and whether a torn tail from a
-// crash mid-append was truncated.
+// found: the last committed sequence, whether a torn tail from a crash
+// mid-append was truncated, and how many already-checkpointed frames were
+// skipped.
 type LiveRecovery = wal.Recovery
 
+// LiveOptions configures a live table: WAL fsync batching, append retry
+// policy, and the auto-checkpoint threshold (see live.Options).
+type LiveOptions = live.Options
+
 // OpenLiveTable opens (creating if needed) the write-ahead log at walPath
-// and replays its committed batches over base, returning the live table at
-// its last committed version. base must be the same snapshot the log was
+// and replays its committed batches over base (or over the newest
+// checkpoint snapshot, when one exists), returning the live table at its
+// last committed version. base must be the same snapshot the log was
 // started against. syncEvery batches one fsync per that many appends
 // (<= 1 syncs every append — full durability).
 func OpenLiveTable(walPath string, base *Table, syncEvery int) (*LiveTable, *LiveRecovery, error) {
-	return live.Open(nil, walPath, base, wal.Options{SyncEvery: syncEvery})
+	return OpenLiveTableOptions(walPath, base, LiveOptions{SyncEvery: syncEvery})
+}
+
+// OpenLiveTableOptions is OpenLiveTable with the full option set —
+// notably CheckpointBytes, which bounds recovery replay by periodically
+// persisting the current version as a snapshot and compacting the log.
+func OpenLiveTableOptions(walPath string, base *Table, opts LiveOptions) (*LiveTable, *LiveRecovery, error) {
+	return live.Open(nil, walPath, base, opts)
 }
 
 // Maintained is an incrementally maintained offline result over a live
@@ -45,8 +58,10 @@ func OpenLiveTable(walPath string, base *Table, syncEvery int) (*LiveTable, *Liv
 // Bin layouts are pinned to the table Maintain saw: incremental updates
 // never re-fit bin boundaries (that is what makes them bit-identical to a
 // pinned-layout recomputation), so appended values outside a numeric
-// dimension's original range fall out of its histogram. When the data
-// distribution drifts, build a fresh Maintained to re-fit the layouts.
+// dimension's original range fall out of its histogram. Advance tracks
+// that escape rate per layout and, when any layout's cumulative rate
+// crosses Options.DriftThreshold, rebuilds from scratch — re-fitting
+// every layout to the current data (counted in Stats.DriftRebuilds).
 type Maintained struct {
 	mu       sync.Mutex
 	lt       *LiveTable
@@ -54,6 +69,8 @@ type Maintained struct {
 	opts     Options
 	registry *feature.Registry
 	spaceCfg view.SpaceConfig
+	// driftThreshold is the resolved Options.DriftThreshold (< 0 disabled).
+	driftThreshold float64
 
 	seq    uint64
 	ref    *Table
@@ -61,31 +78,36 @@ type Maintained struct {
 	gen    *view.Generator
 	matrix *feature.Matrix
 
-	// suffixable marks the query row-local (SELECT * plus a WHERE filter):
-	// its result over an extended table is its old result plus its result
-	// over the appended suffix, so Advance evaluates it over the suffix
-	// only instead of rescanning the table.
+	// suffixable marks the query row-local (non-aggregate projections plus
+	// at most a WHERE filter): its result over an extended table is its
+	// old result plus its result over the appended suffix, so Advance
+	// evaluates it over the suffix only instead of rescanning the table.
 	suffixable bool
 
-	extended, rebuilt int
+	extended, rebuilt, driftRebuilds int
 }
 
 // rowLocal reports whether a statement's result over a prefix-extended
 // table is always a prefix extension of its old result, computable from
-// the appended rows alone: a bare SELECT * with at most a WHERE clause.
-// DISTINCT, aggregation, grouping, ordering and limits all let appended
-// rows change or reorder earlier result rows.
+// the appended rows alone: each output row must be a pure function of one
+// input row. That is any WHERE-only projection — SELECT * or a list of
+// non-aggregate expressions, with at most a WHERE clause. DISTINCT,
+// aggregation, grouping, ordering and limits all let appended rows change
+// or reorder earlier result rows.
 func rowLocal(stmt *sql.SelectStmt) bool {
 	if stmt.From == "" || stmt.Distinct || len(stmt.GroupBy) > 0 || stmt.Having != nil ||
 		len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
 		return false
 	}
 	for _, it := range stmt.Items {
-		if !it.Star {
+		if it.Star {
+			continue
+		}
+		if it.Expr == nil || sql.ContainsAggregate(it.Expr) {
 			return false
 		}
 	}
-	return true
+	return stmt.Where == nil || !sql.ContainsAggregate(stmt.Where)
 }
 
 // Maintain runs the offline phase for query over the live table's current
@@ -106,6 +128,10 @@ func Maintain(lt *LiveTable, query string, opts Options) (*Maintained, error) {
 		Aggs: opts.Aggs, BinCounts: opts.BinCounts, EqualDepth: opts.EqualDepth,
 	}.Normalized()
 	m := &Maintained{lt: lt, query: query, opts: opts, registry: registry, spaceCfg: spaceCfg}
+	m.driftThreshold = opts.DriftThreshold
+	if m.driftThreshold == 0 {
+		m.driftThreshold = DefaultDriftThreshold
+	}
 	if stmt, perr := sql.Parse(query); perr == nil {
 		m.suffixable = rowLocal(stmt)
 	}
@@ -113,12 +139,13 @@ func Maintain(lt *LiveTable, query string, opts Options) (*Maintained, error) {
 	if err := m.rebuild(ref, seq); err != nil {
 		return nil, err
 	}
-	m.rebuilt = 0 // the initial build is not a fallback
 	return m, nil
 }
 
 // rebuild recomputes the offline state from scratch over ref (the fallback
-// path, and the initial build). Caller holds no lock or the lock.
+// path, and the initial build): layouts are re-fit to ref, so accumulated
+// drift resets to zero. Callers count the rebuild against the right
+// counter. Caller holds no lock or the lock.
 func (m *Maintained) rebuild(ref *Table, seq uint64) error {
 	target, err := m.runQuery(ref)
 	if err != nil {
@@ -133,7 +160,6 @@ func (m *Maintained) rebuild(ref *Table, seq uint64) error {
 		return err
 	}
 	m.ref, m.target, m.gen, m.matrix, m.seq = ref, target, gen, matrix, seq
-	m.rebuilt++
 	return nil
 }
 
@@ -159,6 +185,13 @@ func (m *Maintained) runQuery(ref *Table) (*Table, error) {
 // shrunk by the new data falls back to a full rebuild. Rebuilds also cover
 // appends that drift a measure's accumulation shift (an all-NULL column
 // gaining its first value).
+//
+// Distribution drift forces the other kind of rebuild: when the
+// cumulative fraction of appended values escaping any pinned bin layout
+// reaches the configured threshold, Advance discards the extension and
+// rebuilds from scratch, re-fitting every layout to the current data
+// (Stats.DriftRebuilds). The rebuilt state is exactly what Maintain over
+// the current table would produce; drift accumulation restarts at zero.
 func (m *Maintained) Advance() (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -171,6 +204,14 @@ func (m *Maintained) Advance() (bool, error) {
 	// needs extension checking.
 	if newTarget, ok := m.extendTarget(newRef); ok {
 		if ng, err := m.gen.ApplyAppend(newRef, newTarget); err == nil {
+			if m.driftThreshold >= 0 && ng.MaxDriftRate() >= m.driftThreshold {
+				// The pinned layouts no longer represent the data: re-fit.
+				if err := m.rebuild(newRef, newSeq); err != nil {
+					return false, err
+				}
+				m.driftRebuilds++
+				return true, nil
+			}
 			// The delta-extended generator answers every scan from its
 			// seeded caches; Compute then only reassembles per-view vectors.
 			if matrix, err := feature.ComputeWorkers(ng, m.registry, m.opts.Workers); err == nil {
@@ -183,6 +224,7 @@ func (m *Maintained) Advance() (bool, error) {
 	if err := m.rebuild(newRef, newSeq); err != nil {
 		return false, err
 	}
+	m.rebuilt++
 	return true, nil
 }
 
@@ -229,11 +271,30 @@ func seqRange(from, to int) []int {
 // of any Options.Cache. The session keeps the version it was built on:
 // later Advances never mutate it.
 func (m *Maintained) NewSession() (*Seeker, error) {
+	return m.newSession(nil)
+}
+
+// NewSessionWith is NewSession with per-session interaction knobs — K, M,
+// Strategy, Seed, Workers, RefineHook — overlaid onto the maintained
+// configuration, so one maintained offline state can serve sessions with
+// different recommendation sizes or query strategies. Knobs that shape
+// the offline state itself (aggregates, bin counts, features, alpha) come
+// from the Maintained and are ignored here.
+func (m *Maintained) NewSessionWith(opts Options) (*Seeker, error) {
+	return m.newSession(&opts)
+}
+
+func (m *Maintained) newSession(overlay *Options) (*Seeker, error) {
 	m.mu.Lock()
 	ref, target, gen := m.ref, m.target, m.gen
 	matrix, registry := m.matrix, m.registry
 	opts, spaceCfg := m.opts, m.spaceCfg
 	m.mu.Unlock()
+	if overlay != nil {
+		opts.K, opts.M = overlay.K, overlay.M
+		opts.Strategy, opts.Seed = overlay.Strategy, overlay.Seed
+		opts.Workers, opts.RefineHook = overlay.Workers, overlay.RefineHook
+	}
 	// Sessions share the maintained matrix read-only (exact rows are never
 	// refined), but Rebuild makes the rows the matrix's backing store, so
 	// hand each session its own row headers.
@@ -255,12 +316,34 @@ func (m *Maintained) Seq() uint64 {
 	return m.seq
 }
 
+// MaintainedStats breaks down how Advances were served.
+type MaintainedStats struct {
+	// Extended counts Advances that took the incremental path.
+	Extended int
+	// Rebuilt counts fallback rebuilds (non-extendable query results,
+	// shift drift, extension failures). The initial Maintain build is not
+	// counted.
+	Rebuilt int
+	// DriftRebuilds counts rebuilds triggered by the layout drift
+	// threshold — appended data escaping the pinned bin layouts.
+	DriftRebuilds int
+}
+
 // Stats reports how many Advances took the incremental path versus fell
-// back to a full rebuild.
-func (m *Maintained) Stats() (extended, rebuilt int) {
+// back to a full rebuild, and how many rebuilds were drift-triggered.
+func (m *Maintained) Stats() MaintainedStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.extended, m.rebuilt
+	return MaintainedStats{Extended: m.extended, Rebuilt: m.rebuilt, DriftRebuilds: m.driftRebuilds}
+}
+
+// DriftRate returns the highest cumulative out-of-range rate across the
+// pinned bin layouts — how much of the appended data the maintained
+// histograms are currently dropping (0 right after a build or re-fit).
+func (m *Maintained) DriftRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen.MaxDriftRate()
 }
 
 // Matrix returns the current feature matrix (shared, read-only).

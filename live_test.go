@@ -2,8 +2,11 @@ package viewseeker
 
 import (
 	"math"
+	"math/rand"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"testing/quick"
 
 	"viewseeker/internal/dataset"
 	"viewseeker/internal/feature"
@@ -58,8 +61,8 @@ func TestMaintainedAdvanceMatchesRebuild(t *testing.T) {
 	if !changed {
 		t.Fatal("Advance saw no change after an append")
 	}
-	if ext, reb := m.Stats(); ext != 1 || reb != 0 {
-		t.Fatalf("stats: extended %d rebuilt %d, want the incremental path", ext, reb)
+	if st := m.Stats(); st.Extended != 1 || st.Rebuilt != 0 {
+		t.Fatalf("stats: extended %d rebuilt %d, want the incremental path", st.Extended, st.Rebuilt)
 	}
 
 	// Oracle: a full recompute over the appended tables with the base's
@@ -172,6 +175,157 @@ func TestMaintainedForcesExact(t *testing.T) {
 	for i, e := range m.Matrix().Exact {
 		if !e {
 			t.Fatalf("row %d is inexact: Maintain must force Alpha = 1", i)
+		}
+	}
+}
+
+// shiftedBatch boxes n rows of full starting at from with every numeric
+// cell offset by shift — a distribution-shifted append stream.
+func shiftedBatch(full *Table, from, n int, shift float64) [][]Value {
+	out := make([][]Value, n)
+	for i := range out {
+		row := full.Row(from + i)
+		for j, v := range row {
+			if f, ok := v.AsFloat(); ok {
+				row[j] = dataset.Float(f + shift)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestMaintainedDriftRebuild is the drift property test: a distribution-
+// shifted append stream triggers exactly one drift rebuild per threshold
+// crossing — the rebuild re-fits the layouts, so a second batch from the
+// same shifted distribution extends instead of rebuilding, and only a
+// further shift crosses again — and the rebuilt state is bit-identical to
+// a fresh Maintain over the full table.
+func TestMaintainedDriftRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2000 + rng.Intn(500)
+		batchN := 100 + rng.Intn(100)
+		shift := 2 + rng.Float64()*8
+		full := dataset.GenerateSYN(dataset.SYNConfig{Rows: rows + 3*batchN, Seed: seed})
+		base := full.Subset(full.Name, seqRows(0, rows))
+		if err := dataset.AssignRoles(base, full.Schema.Dimensions(), full.Schema.Measures()); err != nil {
+			t.Fatal(err)
+		}
+		lt, _, err := OpenLiveTable(filepath.Join(t.TempDir(), "syn.wal"), base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lt.Close()
+		opts := Options{K: 3, BinCounts: []int{3, 4}}
+		m, err := Maintain(lt, dataset.SYNQuery, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Crossing 1: the whole batch escapes the pinned layouts.
+		if _, err := lt.Append(shiftedBatch(full, rows, batchN, shift)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.DriftRebuilds != 1 {
+			t.Fatalf("after shifted batch: stats %+v, want exactly 1 drift rebuild", st)
+		}
+		if r := m.DriftRate(); r != 0 {
+			t.Fatalf("drift rate %g after re-fit, want 0", r)
+		}
+
+		// Same shifted distribution again: the re-fit layouts cover it, so
+		// the incremental path serves it — no second rebuild.
+		if _, err := lt.Append(shiftedBatch(full, rows+batchN, batchN, shift)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.DriftRebuilds != 1 || st.Extended != 1 {
+			t.Fatalf("after in-distribution batch: stats %+v, want extension without rebuild", st)
+		}
+
+		// Crossing 2: shift past the re-fit layouts.
+		if _, err := lt.Append(shiftedBatch(full, rows+2*batchN, batchN, 3*shift)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.DriftRebuilds != 2 {
+			t.Fatalf("after second shift: stats %+v, want a second drift rebuild", st)
+		}
+
+		// The drift rebuild is exactly a Maintain-from-scratch on the full
+		// table: same specs, bit-identical feature matrix.
+		fresh, err := Maintain(lt, dataset.SYNQuery, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Matrix(), fresh.Matrix()
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("matrix rows %d vs fresh %d", len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			for j := range got.Rows[i] {
+				if math.Float64bits(got.Rows[i][j]) != math.Float64bits(want.Rows[i][j]) {
+					t.Fatalf("matrix[%d][%d] = %v, fresh Maintain %v — drift rebuild is not bit-identical",
+						i, j, got.Rows[i][j], want.Rows[i][j])
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaintainedProjectionSuffix: a WHERE-only projection (not SELECT *)
+// is row-local, so Advance evaluates it over just the appended suffix —
+// and the suffix-built target is bit-identical to re-running the query
+// over the full current table.
+func TestMaintainedProjectionSuffix(t *testing.T) {
+	query := "SELECT d1, d2, d3, d4, d5, m1, m2, m3, m4, m5 FROM syn WHERE d1 < 0.0707 AND d2 < 0.0707"
+	base, batch := liveSYN(t, 2000, 300)
+	lt, _, err := OpenLiveTable(filepath.Join(t.TempDir(), "syn.wal"), base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	m, err := Maintain(lt, query, Options{K: 3, BinCounts: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Extended != 1 || st.Rebuilt != 0 || st.DriftRebuilds != 0 {
+		t.Fatalf("stats %+v: the projection did not take the suffix fast path", st)
+	}
+
+	s, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Target()
+	oracle, err := Query(lt.Current(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != oracle.NumRows() || got.NumRows() <= 0 {
+		t.Fatalf("suffix target has %d rows, full re-query %d", got.NumRows(), oracle.NumRows())
+	}
+	for r := 0; r < got.NumRows(); r++ {
+		if !reflect.DeepEqual(got.Row(r), oracle.Row(r)) {
+			t.Fatalf("row %d: suffix target %v != full re-query %v", r, got.Row(r), oracle.Row(r))
 		}
 	}
 }

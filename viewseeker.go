@@ -236,7 +236,22 @@ type Options struct {
 	// cancellation tests and latency instrumentation can observe the
 	// refinement work a request triggers.
 	RefineHook func(viewIdx int)
+	// DriftThreshold governs Maintained.Advance's automatic layout re-fit:
+	// when the cumulative out-of-range rate of any pinned bin layout —
+	// appended values a layout cannot place, tracked per layout across
+	// appends — reaches it, Advance rebuilds the offline state from
+	// scratch, re-fitting every layout to the current data. 0 selects
+	// DefaultDriftThreshold; negative disables drift rebuilds (stale
+	// layouts keep dropping escaped values into bin -1 forever). Only
+	// Maintain reads it.
+	DriftThreshold float64
 }
+
+// DefaultDriftThreshold is the fraction of appended values escaping a
+// pinned bin layout that triggers an automatic re-fit (Options.
+// DriftThreshold = 0). A quarter of new data outside the histograms means
+// the maintained scans have stopped representing the live distribution.
+const DefaultDriftThreshold = 0.25
 
 // View is one recommended or presented view with its current score.
 type View struct {
