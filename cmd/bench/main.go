@@ -116,6 +116,12 @@ func main() {
 	checkAppend := flag.String("check-append", "", "validate an existing BENCH_append.json: require the SYN 200k entry with a >= 5x delta-vs-rebuild speedup")
 	onlineMode := flag.Bool("online", false, "benchmark the online phase instead of the scan kernels: full feedback iterations (selection, refinement, refit) driven by a simulated user, written to -o (default BENCH_online.json)")
 	checkOnline := flag.String("check-online", "", "validate an existing BENCH_online.json: require the SYN 1M entry with every iteration under one second")
+	serveMode := flag.Bool("serve", false, "benchmark the memory-budgeted serving path: a synthetic session population against a budget sized for a fraction of it (forced eviction + rehydration), written to -o (default BENCH_serve.json)")
+	serveSessions := flag.Int("serve-sessions", 2000, "session population for -serve")
+	serveConcurrency := flag.Int("serve-concurrency", 16, "sessions in flight at once for -serve")
+	serveFeedback := flag.Int("serve-feedback", 5, "labelling steps per session for -serve")
+	serveFraction := flag.Float64("serve-budget-fraction", 0.25, "session budget as a fraction of the whole population's resident cost for -serve")
+	checkServe := flag.String("check-serve", "", "validate an existing BENCH_serve.json: sessions completed, no 5xx, eviction/rehydration exercised, resident bytes under budget, bit-identity held, feedback p99 under 1s")
 	flag.Parse()
 
 	if *check != "" {
@@ -128,6 +134,18 @@ func main() {
 	}
 	if *checkOnline != "" {
 		checkOnlineReport(*checkOnline)
+		return
+	}
+	if *checkServe != "" {
+		checkServeReport(*checkServe)
+		return
+	}
+	if *serveMode {
+		out := *out
+		if out == "BENCH_offline.json" {
+			out = "BENCH_serve.json"
+		}
+		benchServe(*serveSessions, *serveConcurrency, *serveFeedback, *serveFraction, out)
 		return
 	}
 

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/loadgen"
+	"viewseeker/internal/server"
+)
+
+// serveResult is the BENCH_serve.json document: a memory-budgeted server
+// under a synthetic session population several times its budget, the
+// acceptance surface for the session lifecycle (DESIGN.md §16). The
+// budget is derived from a measured per-session estimate — BudgetFraction
+// of what the whole population would cost resident — so the run forces
+// sustained eviction and rehydration.
+type serveResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	Description   string `json:"description"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+
+	Dataset     string `json:"dataset"`
+	Rows        int    `json:"rows"`
+	Sessions    int    `json:"sessions"`
+	Concurrency int    `json:"concurrency"`
+	Feedback    int    `json:"feedback"`
+
+	// PerSessionBytes is the accounted estimate measured from a probe
+	// session; BudgetBytes = PerSessionBytes × Sessions × BudgetFraction.
+	PerSessionBytes int64   `json:"per_session_bytes"`
+	BudgetFraction  float64 `json:"budget_fraction"`
+	BudgetBytes     int64   `json:"budget_bytes"`
+
+	// MaxResidentBytes is the highest value the resident-bytes gauge took
+	// while sampling through the run; UnderBudget asserts it stayed at or
+	// under BudgetBytes.
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	UnderBudget      bool  `json:"under_budget"`
+
+	// Lifecycle churn over the run, from the server's own counters, and
+	// the mean journal-replay rebuild cost.
+	Evictions         int64   `json:"evictions"`
+	Rehydrations      int64   `json:"rehydrations"`
+	MeanRehydrationMs float64 `json:"mean_rehydration_ms"`
+
+	// BitIdentical records the pre-flight exactness check: a session
+	// evicted between every step answered byte-identically to an
+	// unevicted twin.
+	BitIdentical bool `json:"bit_identical"`
+
+	// Load is the generator's own report: completed/shed split, per-route
+	// p50/p95/p99, and the hard-failure counts (which must be zero).
+	Load *loadgen.Report `json:"load"`
+}
+
+// benchServe measures the serving path under a deliberately undersized
+// session budget and writes BENCH_serve.json.
+func benchServe(sessions, concurrency, feedback int, fraction float64, out string) {
+	const rows = 2000
+	table := dataset.GenerateDIAB(dataset.DIABConfig{Rows: rows, Seed: 51})
+
+	// Probe the accounted per-session cost on an unbudgeted twin.
+	per := probeSessionBytes(table)
+	budget := int64(float64(per) * float64(sessions) * fraction)
+	fmt.Fprintf(os.Stderr, "bench: -serve: %d B/session, budget %d B (%.0f%% of %d sessions)\n",
+		per, budget, fraction*100, sessions)
+
+	bit := verifyBitIdentity(table)
+	if !bit {
+		log.Fatal("bench: -serve: post-eviction responses diverged from the unevicted control")
+	}
+
+	srv := server.NewWithOptions(server.Options{SessionBudgetBytes: budget, Logger: quietLogger()}, table)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Sample the resident gauge through the run: the acceptance bar is
+	// that accounted session bytes never exceed the budget (the busy set
+	// is bounded by concurrency × per-session, kept under budget here).
+	var maxResident atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				v := int64(srv.Metrics().Snapshot()["viewseeker_session_resident_bytes"])
+				if v > maxResident.Load() {
+					maxResident.Store(v)
+				}
+			}
+		}
+	}()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     ts.URL,
+		Sessions:    sessions,
+		Concurrency: concurrency,
+		Feedback:    feedback,
+		Table:       "diab",
+		Query:       dataset.DIABQuery,
+		K:           3,
+		Seed:        7,
+		Revisit:     1,
+		RetryCap:    50 * time.Millisecond,
+	})
+	close(stop)
+	<-done
+	if err != nil {
+		log.Fatalf("bench: -serve: %v", err)
+	}
+
+	snap := srv.Metrics().Snapshot()
+	doc := serveResult{
+		SchemaVersion: 1,
+		Description: "Memory-budgeted serving on DIAB: a synthetic session population " +
+			"driven against a budget sized for a fraction of it, forcing LRU " +
+			"eviction and bit-identical journal-replay rehydration; every request " +
+			"must succeed or shed with 429, and accounted resident session bytes " +
+			"must stay under budget.",
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Dataset:          "diab",
+		Rows:             rows,
+		Sessions:         sessions,
+		Concurrency:      concurrency,
+		Feedback:         feedback,
+		PerSessionBytes:  per,
+		BudgetFraction:   fraction,
+		BudgetBytes:      budget,
+		MaxResidentBytes: maxResident.Load(),
+		UnderBudget:      maxResident.Load() <= budget,
+		Evictions:        int64(snap["viewseeker_session_evictions_total"]),
+		Rehydrations:     int64(snap["viewseeker_session_rehydrations_total"]),
+		BitIdentical:     bit,
+		Load:             rep,
+	}
+	if count := snap["viewseeker_session_rehydration_seconds_count"]; count > 0 {
+		doc.MeanRehydrationMs = snap["viewseeker_session_rehydration_seconds_sum"] / count * 1000
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (completed %d/%d, evictions %d, rehydrations %d, max resident %d/%d B)\n",
+		out, rep.Completed, sessions, doc.Evictions, doc.Rehydrations, doc.MaxResidentBytes, budget)
+}
+
+// quietLogger drops the per-request access lines: a load run issues tens
+// of thousands of requests and the report is the output that matters.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// probeSessionBytes creates one session on an unbudgeted server and reads
+// back its accounted cost from the resident-bytes gauge.
+func probeSessionBytes(table *dataset.Table) int64 {
+	srv := server.NewWithOptions(server.Options{Logger: quietLogger()}, table)
+	rec := postJSON(srv.Handler(), "/api/sessions", map[string]any{
+		"table": "diab", "query": dataset.DIABQuery, "k": 3, "seed": 7,
+	})
+	if rec.Code != http.StatusCreated {
+		log.Fatalf("bench: -serve: probe session = %d: %s", rec.Code, rec.Body.String())
+	}
+	per := int64(srv.Metrics().Snapshot()["viewseeker_session_resident_bytes"])
+	if per <= 0 {
+		log.Fatal("bench: -serve: probe session accounted zero bytes")
+	}
+	return per
+}
+
+// verifyBitIdentity drives the same labelling conversation through a
+// 1-byte-budget server (evicted between every step) and an unbudgeted
+// control, comparing raw response bytes on the feedback, top and weights
+// routes.
+func verifyBitIdentity(table *dataset.Table) bool {
+	budgeted := server.NewWithOptions(server.Options{SessionBudgetBytes: 1, Logger: quietLogger()}, table)
+	control := server.NewWithOptions(server.Options{Logger: quietLogger()}, table)
+	bh, ch := budgeted.Handler(), control.Handler()
+
+	create := map[string]any{"table": "diab", "query": dataset.DIABQuery, "k": 5, "seed": 7}
+	var bID, cID struct {
+		ID string `json:"id"`
+	}
+	rb, rc := postJSON(bh, "/api/sessions", create), postJSON(ch, "/api/sessions", create)
+	if rb.Code != http.StatusCreated || rc.Code != http.StatusCreated {
+		log.Fatalf("bench: -serve: identity creates = %d / %d", rb.Code, rc.Code)
+	}
+	_ = json.Unmarshal(rb.Body.Bytes(), &bID)
+	_ = json.Unmarshal(rc.Body.Bytes(), &cID)
+
+	steps := []struct {
+		view  int
+		label float64
+	}{{4, 1}, {11, 0}, {42, 0.5}, {7, 1}}
+	for _, fb := range steps {
+		budgeted.EvictIdleSessions()
+		body := map[string]any{"index": fb.view, "label": fb.label}
+		b := postJSON(bh, "/api/sessions/"+bID.ID+"/feedback", body)
+		c := postJSON(ch, "/api/sessions/"+cID.ID+"/feedback", body)
+		if b.Code != http.StatusOK || c.Code != http.StatusOK || b.Body.String() != c.Body.String() {
+			return false
+		}
+		for _, route := range []string{"/top", "/weights"} {
+			b := getJSON(bh, "/api/sessions/"+bID.ID+route)
+			c := getJSON(ch, "/api/sessions/"+cID.ID+route)
+			if b.Body.String() != c.Body.String() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func postJSON(h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	b, _ := json.Marshal(body)
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b)).WithContext(context.Background())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getJSON(h http.Handler, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// checkServeReport validates a tracked BENCH_serve.json: the lifecycle
+// acceptance bars — sessions completed, no hard failures, eviction and
+// rehydration actually exercised, resident bytes gauge-verified under
+// budget, bit-identity held, and the feedback route interactive (p99
+// under the paper's one-second bar).
+func checkServeReport(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("bench: -check-serve: %v", err)
+	}
+	var rep serveResult
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("bench: -check-serve %s: %v", path, err)
+	}
+	if rep.SchemaVersion != 1 {
+		log.Fatalf("bench: -check-serve %s: schema_version = %d, want 1", path, rep.SchemaVersion)
+	}
+	if rep.Load == nil {
+		log.Fatalf("bench: -check-serve %s: no load report", path)
+	}
+	fail := func(format string, args ...any) {
+		log.Fatalf("bench: -check-serve %s: "+format, append([]any{path}, args...)...)
+	}
+	if rep.Load.Completed <= 0 {
+		fail("no sessions completed")
+	}
+	if rep.Load.Errors5xx != 0 || rep.Load.TransportErrors != 0 {
+		fail("hard failures: %d 5xx, %d transport (must be 0)", rep.Load.Errors5xx, rep.Load.TransportErrors)
+	}
+	if rep.Evictions <= 0 || rep.Rehydrations <= 0 {
+		fail("lifecycle not exercised: %d evictions, %d rehydrations", rep.Evictions, rep.Rehydrations)
+	}
+	if !rep.UnderBudget {
+		fail("resident bytes peaked at %d over budget %d", rep.MaxResidentBytes, rep.BudgetBytes)
+	}
+	if !rep.BitIdentical {
+		fail("bit_identical = false")
+	}
+	fb, ok := rep.Load.Routes["feedback"]
+	if !ok || fb.Count == 0 {
+		fail("no feedback route stats")
+	}
+	if fb.P99Ms >= 1000 {
+		fail("feedback p99 = %.1f ms, want < 1000 (interactivity)", fb.P99Ms)
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: -check-serve %s ok (%d/%d completed, %d evictions, %d rehydrations, max resident %d/%d B, feedback p99 %.1f ms)\n",
+		path, rep.Load.Completed, rep.Sessions, rep.Evictions, rep.Rehydrations,
+		rep.MaxResidentBytes, rep.BudgetBytes, fb.P99Ms)
+}

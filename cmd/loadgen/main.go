@@ -1,0 +1,94 @@
+// Command loadgen drives concurrent synthetic sessions against a running
+// serve instance — create, N feedback steps, top-k per session, from a
+// bounded worker pool — and prints a JSON report with per-route
+// p50/p95/p99 latency and the completed / shed / error split. 429
+// responses are retried honouring Retry-After, so a memory-budgeted
+// server (serve -session-budget-bytes, DESIGN.md §16) can be probed at
+// populations far past its budget: the acceptance bar is "every request
+// succeeds or sheds, never 5xx".
+//
+// A smoke against a local server:
+//
+//	serve -addr 127.0.0.1:8080 -session-budget-bytes 33554432 &
+//	loadgen -addr http://127.0.0.1:8080 -sessions 2000 -concurrency 32 -feedback 5
+//
+// The exit status is non-zero when any 5xx or transport error occurred,
+// so CI can gate on it directly; see also cmd/bench -serve, which runs
+// the same engine against an in-process server and writes the tracked
+// BENCH_serve.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the serve instance")
+		sessions    = flag.Int("sessions", 1000, "total session population to drive")
+		concurrency = flag.Int("concurrency", 16, "sessions in flight at once")
+		feedback    = flag.Int("feedback", 5, "labelling steps per session")
+		table       = flag.String("table", "diab", "table every session explores")
+		query       = flag.String("query", dataset.DIABQuery, "exploration query")
+		k           = flag.Int("k", 3, "top-k size per session")
+		seed        = flag.Int64("seed", 1, "base seed (per-session seed is seed+index)")
+		revisit     = flag.Int("revisit", 1, "extra feedback steps against every completed session after the population has run — the pass that forces evicted sessions to rehydrate (0 disables)")
+		retries     = flag.Int("max-retries", 8, "429 retries per request before the session counts as shed")
+		retryCap    = flag.Duration("retry-cap", time.Second, "cap on the per-retry Retry-After sleep")
+		out         = flag.String("o", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *addr,
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Feedback:    *feedback,
+		Table:       *table,
+		Query:       *query,
+		K:           *k,
+		Seed:        *seed,
+		Revisit:     *revisit,
+		MaxRetries:  *retries,
+		RetryCap:    *retryCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Errors5xx > 0 || rep.TransportErrors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: hard failures: %d 5xx, %d transport\n",
+			rep.Errors5xx, rep.TransportErrors)
+		os.Exit(1)
+	}
+}

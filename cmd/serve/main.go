@@ -20,9 +20,16 @@
 // directory replays committed appends (a torn tail from a crash is
 // truncated; the table comes back at the last committed batch).
 //
+// With -session-budget-bytes the session population is memory-bounded:
+// the coldest idle sessions are evicted once the accounted total exceeds
+// the budget and rebuilt transparently from the journal on their next
+// touch; when even eviction cannot make room the server sheds new work
+// with 429 + Retry-After. See the Scaling section of README.md for
+// sizing guidance and DESIGN.md §16 for the mechanism.
+//
 // Usage:
 //
-//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [-wal-dir wal/] [-pprof] [-trace-log spans.jsonl] [name=path.csv ...]
+//	serve [-addr :8080] [-dataset diab -rows 20000] [-cache-dir state/] [-session-budget-bytes N] [-wal-dir wal/] [-pprof] [-trace-log spans.jsonl] [name=path.csv ...]
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "host every table as a live (appendable) table, write-ahead-logged under this directory as <name>.wal; POST /api/tables/{name}/append grows a table, a restart with the same tables and directory replays committed appends")
 		syncEvery  = flag.Int("wal-sync-every", 1, "fsync the WAL once per this many append batches (1 = every batch; higher trades a bounded durability window for append throughput)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "auto-checkpoint a live table whenever its WAL reaches this many bytes: the current version is snapshotted and the log compacted, bounding restart replay (0 = manual checkpoints only via POST /api/tables/{name}/checkpoint)")
+		sessBudget = flag.Int64("session-budget-bytes", 0, "memory budget across all interactive sessions: over it, the coldest idle sessions are evicted and rebuilt transparently from the journal on their next touch; when even eviction cannot make room the server sheds with 429 + Retry-After (0 = unbudgeted; see the Scaling section of README.md for sizing)")
 	)
 	flag.Parse()
 	var tables []*viewseeker.Table
@@ -96,7 +104,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	var opts server.Options
+	opts := server.Options{SessionBudgetBytes: *sessBudget}
 	var journal *store.Journal
 	if *cacheDir != "" {
 		cache, err := store.Open(*cacheDir, 0)
@@ -109,7 +117,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
-		opts = server.Options{Cache: cache, Journal: journal}
+		opts.Cache = cache
+		opts.Journal = journal
 	}
 	srv := server.NewWithOptions(opts, tables...)
 	if *walDir != "" {
@@ -160,8 +169,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: some sessions were not restored:", err)
 		}
 		if restored > 0 {
-			fmt.Printf("Restored %d session(s) from %s\n", restored, journal.Path())
+			// Restore is lazy: sessions are indexed cold and each pays its
+			// (cache-warm) rebuild on first touch, so boot stays O(records).
+			fmt.Printf("Indexed %d session(s) from %s (cold; each rehydrates on first touch)\n",
+				restored, journal.Path())
 		}
+	}
+	if *sessBudget > 0 {
+		fmt.Printf("Session memory budget: %d bytes (idle sessions evict and rehydrate from the journal)\n", *sessBudget)
 	}
 
 	fmt.Printf("ViewSeeker UI on http://%s (tables: ", *addr)

@@ -1,0 +1,24 @@
+package core
+
+// MemoryBytes estimates the resident heap bytes of the session's
+// estimator state: the label map, labelling order, the incremental-refit
+// sufficient statistics (k×k Gram triangle plus the per-feature vectors),
+// the whole-space scaler and the standardisation workspace. Part of the
+// per-session accounting behind the server's eviction budget (DESIGN.md
+// §16); an estimate of the dominant allocations, not a heap census. The
+// matrix itself is accounted by the facade. Call under the same
+// serialisation as the other session operations.
+func (s *Seeker) MemoryBytes() int64 {
+	// A map entry (int key, float64 value) amortises to ~48 bytes with
+	// bucket overhead.
+	b := int64(len(s.labeled))*48 + int64(cap(s.order))*8
+	k := int64(len(s.matrix.Names))
+	if s.suff != nil {
+		b += k*k*8 + 2*k*8 // Sxx + Sx/Sxy
+	}
+	if s.scaler != nil {
+		b += 2 * k * 8 // Mean + Std
+	}
+	b += int64(cap(s.suffYs))*8 + int64(cap(s.zbuf))*8
+	return b
+}

@@ -1,0 +1,36 @@
+package dataset
+
+// MemoryBytes estimates the resident heap bytes of the table's column
+// data: typed value slices (by capacity — the allocation, not the fill),
+// string contents, null bitmaps, and the numeric decode caches. It is the
+// dataset layer's contribution to the per-session memory accounting the
+// server's eviction budget runs on (DESIGN.md §16) — an estimate of the
+// dominant allocations, not a precise heap census: struct headers and the
+// schema are covered by the session-level overhead constant instead.
+//
+// Cost: O(columns) for numeric columns, O(rows) for string columns (the
+// per-string lengths must be summed). Callers that account repeatedly
+// against an immutable table should cache the result.
+func (t *Table) MemoryBytes() int64 {
+	var b int64
+	for _, c := range t.Cols {
+		b += c.MemoryBytes()
+	}
+	return b
+}
+
+// MemoryBytes estimates the column's resident heap bytes (see
+// Table.MemoryBytes).
+func (c *Column) MemoryBytes() int64 {
+	b := int64(cap(c.Ints))*8 + int64(cap(c.Floats))*8 + int64(cap(c.Bools)) + int64(cap(c.nulls))*8
+	if len(c.Strs) > 0 {
+		b += int64(cap(c.Strs)) * 16 // string headers
+		for _, s := range c.Strs {
+			b += int64(len(s))
+		}
+	}
+	c.dec.mu.Lock()
+	b += int64(cap(c.dec.vals)) * 8
+	c.dec.mu.Unlock()
+	return b
+}

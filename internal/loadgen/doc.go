@@ -1,0 +1,11 @@
+// Package loadgen drives synthetic interactive sessions against a
+// serve-compatible HTTP API — create, a fixed number of feedback steps,
+// then top-k — from a bounded worker pool, and reports per-route
+// p50/p95/p99 latency (estimated from internal/obs histograms with the
+// server's own bucket layout) plus the success / shed / error split.
+// 429 responses are retried honouring Retry-After: against a
+// memory-budgeted server (DESIGN.md §16) shedding is expected behaviour,
+// so only 5xx and transport failures count as errors. cmd/loadgen is the
+// CLI wrapper; cmd/bench -serve uses the same engine to produce the
+// tracked BENCH_serve.json.
+package loadgen

@@ -1,0 +1,334 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewseeker/internal/obs"
+)
+
+// Config shapes one load run against a serve-compatible API.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests; nil uses a dedicated client with a
+	// 30-second timeout.
+	Client *http.Client
+	// Sessions is the total session population to drive (each runs
+	// create → Feedback labelling steps → top-k).
+	Sessions int
+	// Concurrency is the worker-pool width (default 8): how many sessions
+	// are in flight at once.
+	Concurrency int
+	// Feedback is the number of labelling steps per session (default 5).
+	Feedback int
+	// Table, Query, K and Seed parameterise every created session; the
+	// per-session seed is Seed + the session index, so sessions are
+	// distinct but the whole run is reproducible.
+	Table string
+	Query string
+	K     int
+	Seed  int64
+	// Revisit adds a second pass: after every session has run, each
+	// completed session is touched again with Revisit more feedback steps
+	// and a top-k. Against a budgeted server most of the population has
+	// been evicted by then, so the revisit pass is what exercises
+	// journal-replay rehydration (0 = no second pass).
+	Revisit int
+	// MaxRetries bounds how many times one request is retried after a 429
+	// before the session counts as shed (default 8). Retries honour the
+	// server's Retry-After header, capped by RetryCap.
+	MaxRetries int
+	// RetryCap caps the per-retry sleep (default 1s). Load tests set it
+	// low so a shedding server is probed frequently instead of idling.
+	RetryCap time.Duration
+}
+
+// RouteStats is one route's latency summary, quantiles estimated from an
+// internal/obs histogram (the same bucket layout the server exports).
+type RouteStats struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// Report is a run's outcome — the "requests succeed or shed, never fail"
+// acceptance surface plus per-route latency.
+type Report struct {
+	// Sessions is the configured population; Completed counts sessions
+	// that finished every step (possibly after 429 retries); Shed counts
+	// sessions abandoned because a request stayed 429 past MaxRetries.
+	Sessions  int   `json:"sessions"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	// Responses429 counts individual 429 responses (each also slept per
+	// Retry-After); Errors4xx / Errors5xx / TransportErrors count
+	// everything else that is not a 2xx — an acceptance run requires
+	// Errors5xx == 0 and TransportErrors == 0.
+	Responses429    int64 `json:"responses_429"`
+	Errors4xx       int64 `json:"errors_4xx"`
+	Errors5xx       int64 `json:"errors_5xx"`
+	TransportErrors int64 `json:"transport_errors"`
+	// ElapsedSeconds is wall clock for the whole run; Routes maps route
+	// name (create / feedback / top) to its latency summary.
+	ElapsedSeconds float64               `json:"elapsed_seconds"`
+	Routes         map[string]RouteStats `json:"routes"`
+}
+
+type runner struct {
+	cfg    Config
+	client *http.Client
+
+	mu    sync.Mutex
+	hists map[string]*obs.Histogram
+	// live records completed sessions (id + view-space size) for the
+	// revisit pass.
+	live []liveSession
+
+	completed, shed             atomic.Int64
+	r429, e4xx, e5xx, transport atomic.Int64
+}
+
+type liveSession struct {
+	id       string
+	numViews int
+	index    int
+}
+
+func (r *runner) hist(route string) *obs.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[route]
+	if h == nil {
+		h = obs.NewRegistry().Histogram(route, obs.DurationBuckets)
+		r.hists[route] = h
+	}
+	return h
+}
+
+// Run drives Config.Sessions synthetic sessions through the API and
+// reports per-route latency and the success/shed/error split. An error is
+// returned only for misconfiguration; server-side failures are counted,
+// not fatal, so a shedding server still yields a full report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Feedback <= 0 {
+		cfg.Feedback = 5
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = time.Second
+	}
+	r := &runner{cfg: cfg, client: cfg.Client, hists: make(map[string]*obs.Histogram)}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Sessions {
+					return
+				}
+				r.session(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if cfg.Revisit > 0 {
+		// Second pass: return to every completed session. Against a
+		// budgeted server most of them have been evicted since their last
+		// touch, so this is the rehydration workload.
+		var nextLive atomic.Int64
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(nextLive.Add(1)) - 1
+					if i >= len(r.live) {
+						return
+					}
+					r.revisit(r.live[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := &Report{
+		Sessions:        cfg.Sessions,
+		Completed:       r.completed.Load(),
+		Shed:            r.shed.Load(),
+		Responses429:    r.r429.Load(),
+		Errors4xx:       r.e4xx.Load(),
+		Errors5xx:       r.e5xx.Load(),
+		TransportErrors: r.transport.Load(),
+		ElapsedSeconds:  time.Since(start).Seconds(),
+		Routes:          make(map[string]RouteStats),
+	}
+	for route, h := range r.hists {
+		rep.Routes[route] = RouteStats{
+			Count: h.Count(),
+			P50Ms: h.Quantile(0.50) * 1000,
+			P95Ms: h.Quantile(0.95) * 1000,
+			P99Ms: h.Quantile(0.99) * 1000,
+		}
+	}
+	return rep, nil
+}
+
+// session drives one create → feedback* → top conversation. Every step
+// retries on 429 (the server shedding is expected behaviour under an
+// undersized budget); any other failure abandons the session.
+func (r *runner) session(i int) {
+	var created struct {
+		ID       string `json:"id"`
+		NumViews int    `json:"numViews"`
+	}
+	ok := r.do("create", "POST", "/api/sessions", map[string]any{
+		"table": r.cfg.Table, "query": r.cfg.Query, "k": r.cfg.K,
+		"seed": r.cfg.Seed + int64(i),
+	}, &created)
+	if !ok {
+		return
+	}
+	if created.NumViews == 0 {
+		r.e5xx.Add(1) // a created session with no views is a server bug
+		return
+	}
+	base := "/api/sessions/" + created.ID
+	for f := 0; f < r.cfg.Feedback; f++ {
+		// Deterministic per-session labelling walk over the view space.
+		view := (i*37 + f*13) % created.NumViews
+		if !r.do("feedback", "POST", base+"/feedback", map[string]any{
+			"index": view, "label": float64((i+f)%2) * 1.0,
+		}, nil) {
+			return
+		}
+	}
+	if !r.do("top", "GET", base+"/top", nil, nil) {
+		return
+	}
+	r.completed.Add(1)
+	if r.cfg.Revisit > 0 {
+		r.mu.Lock()
+		r.live = append(r.live, liveSession{id: created.ID, numViews: created.NumViews, index: i})
+		r.mu.Unlock()
+	}
+}
+
+// revisit returns to a completed (and, under budget pressure, likely
+// evicted) session for Config.Revisit more labelling steps and a top-k.
+// Failures here are already counted by do; a shed revisit does not
+// un-complete the session.
+func (r *runner) revisit(s liveSession) {
+	base := "/api/sessions/" + s.id
+	for f := 0; f < r.cfg.Revisit; f++ {
+		view := (s.index*17 + (r.cfg.Feedback+f)*13) % s.numViews
+		if !r.do("feedback", "POST", base+"/feedback", map[string]any{
+			"index": view, "label": float64((s.index+f)%2) * 1.0,
+		}, nil) {
+			return
+		}
+	}
+	r.do("top", "GET", base+"/top", nil, nil)
+}
+
+// do issues one request with 429-retry, recording its latency per
+// attempt. Returns false when the session should be abandoned.
+func (r *runner) do(route, method, path string, body, out any) bool {
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader = http.NoBody
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				r.transport.Add(1)
+				return false
+			}
+			rdr = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, r.cfg.BaseURL+path, rdr)
+		if err != nil {
+			r.transport.Add(1)
+			return false
+		}
+		start := time.Now()
+		res, err := r.client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			r.transport.Add(1)
+			return false
+		}
+		r.hist(route).ObserveDuration(elapsed)
+		switch {
+		case res.StatusCode < 300:
+			var derr error
+			if out != nil {
+				derr = json.NewDecoder(res.Body).Decode(out)
+			}
+			res.Body.Close()
+			if derr != nil {
+				r.transport.Add(1)
+				return false
+			}
+			return true
+		case res.StatusCode == http.StatusTooManyRequests:
+			r.r429.Add(1)
+			delay := retryAfter(res)
+			res.Body.Close()
+			if attempt >= r.cfg.MaxRetries {
+				r.shed.Add(1)
+				return false
+			}
+			if delay > r.cfg.RetryCap {
+				delay = r.cfg.RetryCap
+			}
+			time.Sleep(delay)
+		case res.StatusCode >= 500:
+			res.Body.Close()
+			r.e5xx.Add(1)
+			return false
+		default:
+			res.Body.Close()
+			r.e4xx.Add(1)
+			return false
+		}
+	}
+}
+
+// retryAfter parses the Retry-After hint (seconds form), defaulting to
+// 50ms so a header-less 429 still backs off.
+func retryAfter(res *http.Response) time.Duration {
+	if s := res.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 50 * time.Millisecond
+}

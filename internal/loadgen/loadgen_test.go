@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"viewseeker/internal/dataset"
+	"viewseeker/internal/server"
+)
+
+// TestSmokeAgainstInProcessServer is the loadgen smoke: 50 sessions
+// against an in-process server whose budget fits only a fraction of the
+// population, so the run exercises creation, eviction, rehydration and
+// (possibly) shedding — and must end with zero 5xx, zero transport
+// errors, and the resident gauge under budget.
+func TestSmokeAgainstInProcessServer(t *testing.T) {
+	table := dataset.GenerateDIAB(dataset.DIABConfig{Rows: 1000, Seed: 51})
+	srv := server.NewWithOptions(server.Options{SessionBudgetBytes: 4 << 20}, table)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Sessions:    50,
+		Concurrency: 8,
+		Feedback:    3,
+		Table:       "diab",
+		Query:       dataset.DIABQuery,
+		K:           3,
+		Seed:        7,
+		RetryCap:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no sessions completed: %+v", rep)
+	}
+	if rep.Errors5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("run had hard failures: %+v", rep)
+	}
+	if rep.Completed+rep.Shed != int64(rep.Sessions) {
+		t.Fatalf("completed %d + shed %d != sessions %d (4xx leak?): %+v",
+			rep.Completed, rep.Shed, rep.Sessions, rep)
+	}
+	for _, route := range []string{"create", "feedback", "top"} {
+		rs, ok := rep.Routes[route]
+		if !ok || rs.Count == 0 {
+			t.Fatalf("route %q missing from report: %+v", route, rep.Routes)
+		}
+		if rs.P50Ms <= 0 || rs.P99Ms < rs.P50Ms {
+			t.Errorf("route %q quantiles inconsistent: %+v", route, rs)
+		}
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if budget := float64(4 << 20); snap["viewseeker_session_resident_bytes"] > budget {
+		t.Errorf("resident bytes %v over budget %v after the run settled",
+			snap["viewseeker_session_resident_bytes"], budget)
+	}
+}

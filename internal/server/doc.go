@@ -17,10 +17,22 @@
 // durability via GET /healthz (always 200; status "ok"|"degraded" per
 // component) and the degraded field on session-info and feedback bodies.
 //
-// Replay: every session lifecycle event is journalled, and
-// RestoreSessions rebuilds live sessions deterministically from the log
-// (create + feedback replay), so a restart reproduces estimator, top-k
-// and weights exactly.
+// Replay: every session lifecycle event is journalled, and replay
+// rebuilds a session deterministically from its log (create + feedback),
+// so the restored estimator, top-k and weights are exact.
+// RestoreSessions is lazy: it indexes journaled sessions cold and each
+// rehydrates on first touch rather than at boot.
+//
+// Session lifecycle (DESIGN.md §16): sessions live in a memory-budgeted
+// manager (internal/session, Options.SessionBudgetBytes). Over budget,
+// idle sessions are LRU-evicted down to their journal mirror and
+// rehydrated bit-identically on next touch; sessions on maintained live
+// tables are pinned (shared offline state cannot be replayed). Under
+// hard overload — accounted bytes past budget × 1.5 or the rehydration
+// backlog full — creates and cold-session rehydrations are shed with
+// 429 + Retry-After. GET /healthz reports the manager state
+// (accepting/evicting/shedding), resident/cold counts and resident
+// bytes; /metricz carries the eviction, rehydration and shed counters.
 //
 // Observability (DESIGN.md §11): every route runs under the
 // instrumentation middleware — request ids (X-Request-Id, generated or

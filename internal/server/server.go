@@ -19,6 +19,7 @@ import (
 
 	"viewseeker"
 	"viewseeker/internal/obs"
+	"viewseeker/internal/session"
 	"viewseeker/internal/store"
 )
 
@@ -59,6 +60,14 @@ type Options struct {
 	// slog.Default(). Every line carries the request id the server also
 	// returns in the X-Request-Id response header.
 	Logger *slog.Logger
+	// SessionBudgetBytes caps the accounted resident bytes across all
+	// interactive sessions (0 = unbudgeted, the historical behaviour).
+	// Over budget, the coldest idle sessions are evicted — their in-RAM
+	// state dropped, their journal mirror kept — and rebuilt transparently
+	// on the next touch; when even eviction cannot make room, new sessions
+	// and rehydrations are refused with 429 + Retry-After. See DESIGN.md
+	// §16 and internal/session.
+	SessionBudgetBytes int64
 }
 
 // defaultMaxBodyBytes bounds POST bodies: session configs and feedback
@@ -69,10 +78,14 @@ const defaultMaxBodyBytes = 1 << 20
 // Server hosts tables and interactive sessions. All methods are safe for
 // concurrent use; individual sessions serialise their own operations.
 type Server struct {
-	mu       sync.Mutex
-	tables   map[string]*viewseeker.Table
-	live     map[string]*viewseeker.LiveTable
-	sessions map[string]*session
+	mu     sync.Mutex
+	tables map[string]*viewseeker.Table
+	live   map[string]*viewseeker.LiveTable
+
+	// sessions owns the interactive sessions under the memory budget:
+	// per-session accounting, LRU eviction, journal-replay rehydration and
+	// admission control all live there (internal/session, DESIGN.md §16).
+	sessions *session.Manager
 
 	// tableHash caches each hosted table's content hash: tables are fixed
 	// at construction, so warm session creation never rehashes the dataset.
@@ -100,13 +113,6 @@ type Server struct {
 	driftRebuilds *obs.Counter
 }
 
-type session struct {
-	mu     sync.Mutex
-	seeker *viewseeker.Seeker
-	table  string
-	query  string
-}
-
 // New builds a server hosting the given tables with default Options.
 func New(tables ...*viewseeker.Table) *Server {
 	return NewWithOptions(Options{}, tables...)
@@ -117,7 +123,7 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s := &Server{
 		tables:      make(map[string]*viewseeker.Table),
 		live:        make(map[string]*viewseeker.LiveTable),
-		sessions:    make(map[string]*session),
+		sessions:    session.NewManager(session.Config{BudgetBytes: opts.SessionBudgetBytes}),
 		tableHash:   make(map[string]string),
 		maintainers: make(map[string]*maintainer),
 		maintSem:    make(chan struct{}, maintainerConcurrency),
@@ -149,6 +155,7 @@ func NewWithOptions(opts Options, tables ...*viewseeker.Table) *Server {
 	s.maintPanics = s.metrics.Counter("viewseeker_server_maintainer_panics_total")
 	s.driftRebuilds = s.metrics.Counter("viewseeker_live_drift_rebuilds_total")
 	s.cache.Instrument(s.metrics)
+	s.sessions.Instrument(s.metrics)
 	if s.journal != nil {
 		s.journal.Instrument(s.metrics)
 	}
@@ -383,6 +390,11 @@ type healthResponse struct {
 	Journal  healthComponent `json:"journal"`
 	Cache    healthComponent `json:"cache"`
 	Sessions int             `json:"sessions"`
+	// SessionManager is the memory-budgeted lifecycle state (DESIGN.md
+	// §16): budget and accounted resident bytes, the resident/cold split,
+	// the admission-control state (accepting / evicting / shedding) and
+	// the lifetime eviction, rehydration and shed counts.
+	SessionManager session.Stats `json:"sessionManager"`
 	// Live lists each hosted live table's WAL state (omitted when none are
 	// hosted); the fsync latency histogram and recovery counters live on
 	// /metricz under the viewseeker_wal_* series.
@@ -399,15 +411,14 @@ func (s *Server) Degraded() bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sessions := len(s.sessions)
-	s.mu.Unlock()
+	sm := s.sessions.Stats()
 	resp := healthResponse{
-		Status:   "ok",
-		Journal:  healthComponent{Enabled: s.journal != nil},
-		Cache:    healthComponent{Enabled: s.cache.DiskBacked()},
-		Sessions: sessions,
-		Live:     s.liveStatuses(),
+		Status:         "ok",
+		Journal:        healthComponent{Enabled: s.journal != nil},
+		Cache:          healthComponent{Enabled: s.cache.DiskBacked()},
+		Sessions:       sm.Resident + sm.Cold,
+		SessionManager: sm,
+		Live:           s.liveStatuses(),
 	}
 	if s.journal != nil {
 		resp.Journal.Degraded = s.journal.Degraded()
@@ -489,6 +500,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	// Admission control runs before the offline phase is paid: when the
+	// session budget is exhausted by unevictable (in-flight or pinned)
+	// sessions, the request is shed up front instead of computing a matrix
+	// there is no room to keep.
+	if err := s.sessions.AdmitNew(); err != nil {
+		writeOverload(w, err)
+		return
+	}
 	s.mu.Lock()
 	table := s.tables[req.Table]
 	refHash := s.tableHash[req.Table]
@@ -514,24 +533,42 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.mu.Lock()
-	for s.sessions[id] != nil { // 64-bit collisions are theoretical, but free to rule out
-		s.mu.Unlock()
+	create := store.Record{
+		Op: store.OpCreate, Session: id, Table: req.Table, Query: req.Query,
+		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
+		Workers: req.Workers,
+	}
+	// Sessions minted from a maintained live-table state share offline
+	// state that advances with the table, so journal replay could not
+	// rebuild them bit-identically: they are pinned resident (and
+	// accounted shallowly — the shared banks belong to the maintainer).
+	pinned := seeker.SharedOffline()
+	// 64-bit id collisions are theoretical, but free to rule out.
+	for !s.sessions.Put(id, create, s.buildFunc(table, refHash), seeker, pinned) {
 		if id, err = newSessionID(); err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		s.mu.Lock()
+		create.Session = id
 	}
-	sess := &session{seeker: seeker, table: req.Table, query: req.Query}
-	s.sessions[id] = sess
-	s.mu.Unlock()
-	s.journalAppend(store.Record{
-		Op: store.OpCreate, Session: id, Table: req.Table, Query: req.Query,
-		K: req.K, Alpha: req.Alpha, Strategy: req.Strategy, Seed: req.Seed,
-		Workers: req.Workers,
-	})
-	writeJSON(w, http.StatusCreated, s.infoOf(id, sess))
+	s.journalAppend(create)
+	writeJSON(w, http.StatusCreated, s.infoOf(id, req.Table, req.Query, seeker))
+}
+
+// writeOverload maps the session manager's admission refusal to 429 with
+// a Retry-After hint; anything else is an internal error.
+func writeOverload(w http.ResponseWriter, err error) {
+	var ov *session.Overload
+	if errors.As(err, &ov) {
+		secs := int(ov.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
 }
 
 // newSeeker builds a session's seeker. Exact sessions on hosted live
@@ -564,23 +601,44 @@ func (s *Server) newSeeker(ctx context.Context, req createSessionRequest, table 
 	})
 }
 
-func (s *Server) infoOf(id string, sess *session) sessionInfo {
+// buildFunc returns the rehydration closure for sessions created against
+// (table, refHash): a cold rebuild through the offline-result cache, with
+// the feedback replay handled by the session manager. The closure pins
+// the exact table version the session was created on — live-table appends
+// swap s.tables[name] to a new version, and replaying a session against a
+// version it never saw would break the bit-identity contract.
+func (s *Server) buildFunc(table *viewseeker.Table, refHash string) session.BuildFunc {
+	return func(ctx context.Context, c store.Record) (*viewseeker.Seeker, error) {
+		ctx = obs.NewContext(ctx, s.metrics, s.tracer)
+		return viewseeker.NewCtx(ctx, table, c.Query, viewseeker.Options{
+			K: c.K, Alpha: c.Alpha, Strategy: c.Strategy, Seed: c.Seed,
+			Workers: c.Workers, Cache: s.cache, RefHash: refHash,
+			RefineHook: s.refineHook,
+		})
+	}
+}
+
+func (s *Server) infoOf(id, table, query string, sk *viewseeker.Seeker) sessionInfo {
 	return sessionInfo{
-		ID: id, Table: sess.table, Query: sess.query,
-		NumViews: sess.seeker.NumViews(), NumLabels: sess.seeker.NumLabels(),
-		TargetRows: sess.seeker.Target().NumRows(), Cached: sess.seeker.CacheHit(),
+		ID: id, Table: table, Query: query,
+		NumViews: sk.NumViews(), NumLabels: sk.NumLabels(),
+		TargetRows: sk.Target().NumRows(), Cached: sk.CacheHit(),
 		Degraded: s.Degraded(),
 	}
 }
 
-// RestoreSessions rebuilds interactive sessions from journal records (see
+// RestoreSessions indexes interactive sessions from journal records (see
 // store.ReadJournal): every session still live at the end of the log is
-// recreated under its journalled id — through the offline-result cache, so
-// repeated (table, query) pairs pay the offline phase once — and its
-// labelling history is replayed through the deterministic feedback path,
-// reconstructing estimator, top-k and weights exactly. Sessions whose
-// table is gone or whose replay fails are skipped and reported; one broken
-// record never blocks the rest of the boot.
+// registered cold under its journalled id — the journal mirror and a
+// rehydration closure, no offline phase — and rebuilt transparently on
+// its first touch, through the offline-result cache, with its labelling
+// history replayed through the deterministic feedback path. Boot is
+// therefore O(records) regardless of how many sessions the journal holds;
+// the indexed-but-cold count is logged and carried by the
+// viewseeker_session_cold gauge. Sessions whose table is gone are skipped
+// and reported; one broken record never blocks the rest of the boot. A
+// session whose replay no longer succeeds surfaces its error on first
+// touch instead of at boot.
 func (s *Server) RestoreSessions(recs []store.Record) (restored int, err error) {
 	var errs []error
 	for _, lg := range store.Replay(recs) {
@@ -593,54 +651,45 @@ func (s *Server) RestoreSessions(recs []store.Record) (restored int, err error) 
 			errs = append(errs, fmt.Errorf("session %s: unknown table %q", c.Session, c.Table))
 			continue
 		}
-		restoreCtx := obs.NewContext(context.Background(), s.metrics, s.tracer)
-		seeker, serr := viewseeker.NewCtx(restoreCtx, table, c.Query, viewseeker.Options{
-			K: c.K, Alpha: c.Alpha, Strategy: c.Strategy, Seed: c.Seed,
-			Workers: c.Workers, Cache: s.cache, RefHash: refHash,
-		})
-		if serr != nil {
-			errs = append(errs, fmt.Errorf("session %s: %w", c.Session, serr))
-			continue
-		}
-		replayOK := true
-		for i, fb := range lg.Feedback {
-			if ferr := seeker.Feedback(fb.View, fb.Label); ferr != nil {
-				errs = append(errs, fmt.Errorf("session %s: replaying label %d: %w", c.Session, i, ferr))
-				replayOK = false
-				break
-			}
-		}
-		if !replayOK {
-			continue
-		}
-		s.mu.Lock()
-		s.sessions[c.Session] = &session{seeker: seeker, table: c.Table, query: c.Query}
-		s.mu.Unlock()
+		s.sessions.Index(c.Session, lg, s.buildFunc(table, refHash))
 		restored++
+	}
+	if restored > 0 {
+		s.log.Info("sessions indexed from journal; each rehydrates on first touch",
+			"sessions", restored)
 	}
 	return restored, errors.Join(errs...)
 }
 
-// withSession resolves the {id} path segment and locks the session for
-// the duration of the handler.
-func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, id string, sess *session)) http.HandlerFunc {
+// withSession resolves the {id} path segment and acquires the session for
+// the duration of the handler — rehydrating it first when it was evicted
+// or indexed cold from the journal. Acquisition failures map to the
+// degraded-mode surface: 404 for unknown ids, 429 + Retry-After when the
+// manager is shedding, 503 when the client's own context died mid-rebuild,
+// 500 for a replay that no longer succeeds.
+func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		s.mu.Lock()
-		sess := s.sessions[id]
-		s.mu.Unlock()
-		if sess == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		hd, err := s.sessions.Acquire(r.Context(), id)
+		if err != nil {
+			switch {
+			case errors.Is(err, session.ErrNotFound):
+				writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusServiceUnavailable, err)
+			default:
+				writeOverload(w, err)
+			}
 			return
 		}
-		sess.mu.Lock()
-		defer sess.mu.Unlock()
-		h(w, r, id, sess)
+		defer hd.Release()
+		h(w, r, id, hd)
 	}
 }
 
-func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	writeJSON(w, http.StatusOK, s.infoOf(id, sess))
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
+	c := hd.Create()
+	writeJSON(w, http.StatusOK, s.infoOf(id, c.Table, c.Query, hd.Seeker()))
 }
 
 // viewJSON is one view in API responses.
@@ -659,8 +708,8 @@ type nextResponse struct {
 	viewJSON
 }
 
-func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	vs, err := sess.seeker.NextViewsCtx(r.Context())
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
+	vs, err := hd.Seeker().NextViewsCtx(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -681,12 +730,12 @@ type feedbackRequest struct {
 	Label float64 `json:"label"`
 }
 
-func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
 	var req feedbackRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if err := sess.seeker.FeedbackCtx(r.Context(), req.Index, req.Label); err != nil {
+	if err := hd.Seeker().FeedbackCtx(r.Context(), req.Index, req.Label); err != nil {
 		// A context done before the label landed means nothing was recorded
 		// (see core.Seeker.FeedbackCtx): 503, the client may retry. Once the
 		// label lands, cancellation only curtails optional refinement and the
@@ -698,8 +747,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, id strin
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Mirror the label into the manager's replay log (what makes a later
+	// eviction transparent) and the durable journal.
+	hd.RecordFeedback(req.Index, req.Label)
 	s.journalAppend(store.Record{Op: store.OpFeedback, Session: id, View: req.Index, Label: req.Label})
-	writeJSON(w, http.StatusOK, s.topOf(sess))
+	writeJSON(w, http.StatusOK, s.topOf(hd.Seeker()))
 }
 
 type topResponse struct {
@@ -711,13 +763,13 @@ type topResponse struct {
 	Degraded bool `json:"degraded"`
 }
 
-func (s *Server) topOf(sess *session) topResponse {
+func (s *Server) topOf(sk *viewseeker.Seeker) topResponse {
 	// Top starts as an empty slice, not nil: before the first feedback the
 	// client must still receive "top": [], never "top": null.
-	resp := topResponse{NumLabels: sess.seeker.NumLabels(), Top: []viewJSON{}, Degraded: s.Degraded()}
-	for _, v := range sess.seeker.TopK() {
+	resp := topResponse{NumLabels: sk.NumLabels(), Top: []viewJSON{}, Degraded: s.Degraded()}
+	for _, v := range sk.TopK() {
 		vj := viewJSON{Index: v.Index, Spec: v.Spec.String(), Score: v.Score}
-		if query, err := sess.seeker.SQL(v.Index); err == nil {
+		if query, err := sk.SQL(v.Index); err == nil {
 			vj.SQL = query
 		}
 		resp.Top = append(resp.Top, vj)
@@ -725,26 +777,26 @@ func (s *Server) topOf(sess *session) topResponse {
 	return resp
 }
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	writeJSON(w, http.StatusOK, s.topOf(sess))
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
+	writeJSON(w, http.StatusOK, s.topOf(hd.Seeker()))
 }
 
-func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, id string, sess *session) {
-	weights, intercept := sess.seeker.Weights()
+func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
+	weights, intercept := hd.Seeker().Weights()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"features":  sess.seeker.FeatureNames(),
+		"features":  hd.Seeker().FeatureNames(),
 		"weights":   weights,
 		"intercept": intercept,
 	})
 }
 
-func (s *Server) handleViewSVG(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+func (s *Server) handleViewSVG(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
 	idx, err := strconv.Atoi(r.PathValue("index"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid view index %q", r.PathValue("index")))
 		return
 	}
-	p, err := sess.seeker.Pair(idx)
+	p, err := hd.Seeker().Pair(idx)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -753,13 +805,13 @@ func (s *Server) handleViewSVG(w http.ResponseWriter, r *http.Request, id string
 	fmt.Fprint(w, p.RenderSVG(640, 320))
 }
 
-func (s *Server) handleViewExplain(w http.ResponseWriter, r *http.Request, id string, sess *session) {
+func (s *Server) handleViewExplain(w http.ResponseWriter, r *http.Request, id string, hd *session.Handle) {
 	idx, err := strconv.Atoi(r.PathValue("index"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid view index %q", r.PathValue("index")))
 		return
 	}
-	text, err := sess.seeker.Explain(idx, 3)
+	text, err := hd.Seeker().Explain(idx, 3)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -769,14 +821,16 @@ func (s *Server) handleViewExplain(w http.ResponseWriter, r *http.Request, id st
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
+	if !s.sessions.Delete(id) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
 	}
 	s.journalAppend(store.Record{Op: store.OpDelete, Session: id})
 	w.WriteHeader(http.StatusNoContent)
 }
+
+// EvictIdleSessions drops every idle, unpinned session's in-RAM state
+// regardless of the budget; each rehydrates from its journal mirror on
+// the next touch. The operator/bench hook behind the bit-identity
+// harness in cmd/bench -serve.
+func (s *Server) EvictIdleSessions() int { return s.sessions.EvictIdle() }

@@ -26,6 +26,13 @@
 // fragment with a newline, and replay skips lines that fail to parse —
 // one torn write costs exactly one record, never its neighbours.
 //
+// Replay exactness: a session's create record plus its feedback records,
+// replayed in order, reconstruct its estimator bit-identically — the
+// pipeline is deterministic and the estimators are pure functions of the
+// labelled sequence. The memory-budgeted session manager (DESIGN.md §16)
+// leans on this: an evicted session keeps only its journal mirror and is
+// rebuilt exactly on next touch, with the cache making the rebuild warm.
+//
 // Observability: Instrument(reg) on Cache and Journal registers
 // hit/miss/eviction, snapshot and append latency/bytes, degraded-state
 // and retry metrics (DESIGN.md §11); an uninstrumented component pays

@@ -306,7 +306,16 @@ func (m *Maintained) newSession(overlay *Options) (*Seeker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishSession(ref, target, opts, registry, spaceCfg, sm, gen, true, false)
+	s, err := finishSession(ref, target, opts, registry, spaceCfg, sm, gen, true, false)
+	if err != nil {
+		return nil, err
+	}
+	// The session shares the maintained target/generator/row contents
+	// read-only: account it shallowly and bar the server from evicting it
+	// (its offline state advances with the table, so journal replay could
+	// not rebuild it bit-identically).
+	s.sharedOffline = true
+	return s, nil
 }
 
 // Seq returns the live-table sequence the maintained state is current to.

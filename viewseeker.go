@@ -271,6 +271,20 @@ type Seeker struct {
 	inner    *core.Seeker
 	cacheHit bool
 
+	// sharedOffline marks sessions minted from a maintained offline state
+	// (Maintained.NewSession*): their target, generator and matrix row
+	// contents are shared read-only with the maintainer, so MemoryBytes
+	// accounts only the per-session slivers — and the server must never
+	// evict them, because their offline state advances with the live
+	// table and cannot be replayed bit-identically from the journal.
+	sharedOffline bool
+
+	// memTarget caches the one-time target-table estimate: the target is
+	// immutable for the session's lifetime and string columns make the
+	// walk O(rows).
+	memTargetOnce sync.Once
+	memTarget     int64
+
 	// The generator is built lazily on an exact cache hit: recommendation
 	// needs only the cached matrix, so warm sessions defer the layout
 	// scans until something actually executes a view (Pair, Render, SQL).
@@ -544,6 +558,47 @@ func finishSession(ref, target *Table, opts Options, registry *feature.Registry,
 // CacheHit reports whether this session's offline phase was served from
 // Options.Cache instead of being computed.
 func (s *Seeker) CacheHit() bool { return s.cacheHit }
+
+// SharedOffline reports whether this session shares its offline state
+// (target, generator, matrix row contents) read-only with a maintained
+// live-table state (Maintained.NewSession*). Such sessions cannot be
+// rebuilt bit-identically from the journal once the maintained state
+// advances, so the server's session manager pins them resident instead of
+// evicting them.
+func (s *Seeker) SharedOffline() bool { return s.sharedOffline }
+
+// sessionOverheadBytes is the fixed per-session charge in MemoryBytes: the
+// struct headers, small maps and slices the itemised estimates below do
+// not walk (seeker, registry, strategy, refiner bookkeeping).
+const sessionOverheadBytes = 16 << 10
+
+// MemoryBytes estimates the session's resident heap bytes — the quantity
+// the server's eviction budget (-session-budget-bytes) accounts per
+// session (DESIGN.md §16). It sums the target subset's columns, the
+// feature matrix, the view generator's scan caches (once built; the
+// estimate grows as views are rendered) and the estimator state, plus a
+// fixed overhead constant; the reference table is excluded because it is
+// shared across every session on it. Sessions minted from a maintained
+// offline state (SharedOffline) count only their per-session slivers.
+//
+// The result is an estimate of the dominant allocations, not a heap
+// census; cmd/loadgen plus the viewseeker_session_resident_bytes gauge
+// calibrate it against real RSS (README "Scaling & capacity planning").
+// Call it under the same serialisation as the session's other operations
+// — it reads the lazily built generator.
+func (s *Seeker) MemoryBytes() int64 {
+	b := int64(sessionOverheadBytes) + s.inner.MemoryBytes()
+	if s.sharedOffline {
+		return b + s.matrix.MemoryBytesShallow()
+	}
+	b += s.matrix.MemoryBytes()
+	s.memTargetOnce.Do(func() { s.memTarget = s.target.MemoryBytes() })
+	b += s.memTarget
+	if s.gen != nil {
+		b += s.gen.MemoryBytes()
+	}
+	return b
+}
 
 // Reference returns the full dataset DR.
 func (s *Seeker) Reference() *Table { return s.ref }
